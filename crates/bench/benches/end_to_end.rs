@@ -1,0 +1,40 @@
+//! End-to-end benchmarks: host time to simulate one complete application
+//! run on each architecture at CI scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pimdsm::{ArchSpec, Machine};
+use pimdsm_workloads::{build, AppId, Scale};
+
+fn run(spec: ArchSpec, app: AppId) -> u64 {
+    let w = build(app, 8, Scale::ci());
+    let mut m = Machine::build(spec, w, 0.75);
+    m.run().total_cycles
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for (name, spec) in [
+        ("numa", ArchSpec::Numa),
+        ("coma", ArchSpec::Coma),
+        ("agg_1_1", ArchSpec::Agg { n_d: 8 }),
+        ("agg_1_4", ArchSpec::Agg { n_d: 2 }),
+    ] {
+        g.bench_function(format!("fft_{name}"), |b| {
+            b.iter(|| black_box(run(spec, AppId::Fft)));
+        });
+    }
+    g.bench_function("dbase_agg_offload", |b| {
+        b.iter(|| {
+            let w = pimdsm_workloads::build_dbase(8, 8, Scale::ci(), true);
+            let mut m = Machine::build(ArchSpec::Agg { n_d: 4 }, w, 0.75);
+            black_box(m.run().total_cycles)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

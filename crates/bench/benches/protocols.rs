@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the three coherence protocols: host-time cost of
+//! one simulated memory transaction on each memory system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pimdsm_proto::{
+    AggCfg, AggSystem, ComaCfg, ComaSystem, MemSystem, NumaCfg, NumaSystem,
+};
+
+fn numa(c: &mut Criterion) {
+    c.bench_function("proto/numa_read_stream", |b| {
+        let mut sys = NumaSystem::new(NumaCfg::paper(16, 8, 32, 1 << 16));
+        let mut addr = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            addr += 64;
+            t += 50;
+            black_box(sys.read(black_box((addr as usize / 64) % 16), addr, t));
+        });
+    });
+}
+
+fn coma(c: &mut Criterion) {
+    c.bench_function("proto/coma_read_stream", |b| {
+        let mut sys = ComaSystem::new(ComaCfg::paper(16, 8, 32, 1 << 16));
+        let mut addr = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            addr += 64;
+            t += 50;
+            black_box(sys.read(black_box((addr as usize / 64) % 16), addr, t));
+        });
+    });
+}
+
+fn agg(c: &mut Criterion) {
+    c.bench_function("proto/agg_read_stream", |b| {
+        let mut sys = AggSystem::new(AggCfg::paper(16, 16, 8, 32, 1 << 16, 1 << 16));
+        let p_nodes: Vec<usize> = sys.p_nodes().to_vec();
+        let mut addr = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            addr += 64;
+            t += 50;
+            let p = p_nodes[(addr as usize / 64) % p_nodes.len()];
+            black_box(sys.read(black_box(p), addr, t));
+        });
+    });
+
+    c.bench_function("proto/agg_write_stream", |b| {
+        let mut sys = AggSystem::new(AggCfg::paper(16, 16, 8, 32, 1 << 16, 1 << 16));
+        let p_nodes: Vec<usize> = sys.p_nodes().to_vec();
+        let mut addr = 1 << 30;
+        let mut t = 0u64;
+        b.iter(|| {
+            addr += 64;
+            t += 50;
+            let p = p_nodes[(addr as usize / 64) % p_nodes.len()];
+            black_box(sys.write(black_box(p), addr, t));
+        });
+    });
+}
+
+criterion_group!(benches, numa, coma, agg);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the simulation substrates: how fast the simulator
+//! itself runs (host time), independent of any simulated workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pimdsm_engine::{EventQueue, SimRng, Timeline, Zipf};
+use pimdsm_mem::{CacheCfg, KeyedQueue, SetAssocCache};
+use pimdsm_net::{Mesh, NetCfg, Network};
+
+fn engine(c: &mut Criterion) {
+    c.bench_function("engine/timeline_acquire", |b| {
+        let mut t = Timeline::new();
+        let mut at = 0u64;
+        b.iter(|| {
+            at += 7;
+            black_box(t.acquire(black_box(at), 40));
+        });
+    });
+
+    c.bench_function("engine/event_queue_push_pop", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..1024u64 {
+            q.push(i * 3, i);
+        }
+        let mut t = 4096u64;
+        b.iter(|| {
+            let (time, tid) = q.pop().expect("queue never drains");
+            t += 11;
+            q.push(time + (t % 97), tid);
+        });
+    });
+
+    c.bench_function("engine/zipf_sample", |b| {
+        let z = Zipf::new(4096, 0.9);
+        let mut rng = SimRng::new(1);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+}
+
+fn mem(c: &mut Criterion) {
+    c.bench_function("mem/cache_get_hit", |b| {
+        let mut cache = SetAssocCache::new(CacheCfg::new(1 << 20, 4, 6));
+        for l in 0..8192u64 {
+            cache.insert(l, l as u32, |_| 0);
+        }
+        let mut l = 0u64;
+        b.iter(|| {
+            l = (l + 37) % 8192;
+            black_box(cache.get(black_box(l)));
+        });
+    });
+
+    c.bench_function("mem/cache_insert_evict", |b| {
+        let mut cache = SetAssocCache::new(CacheCfg::new(1 << 16, 4, 6).with_hashed_index());
+        let mut l = 0u64;
+        b.iter(|| {
+            l += 1;
+            black_box(cache.insert(black_box(l), 0u8, |_| 0));
+        });
+    });
+
+    c.bench_function("mem/keyed_queue_cycle", |b| {
+        let mut q = KeyedQueue::new();
+        for i in 0..1024u64 {
+            q.push_back(i);
+        }
+        let mut i = 1024u64;
+        b.iter(|| {
+            let f = q.pop_front().expect("nonempty");
+            black_box(f);
+            q.push_back(i);
+            i += 1;
+        });
+    });
+}
+
+fn net(c: &mut Criterion) {
+    c.bench_function("net/send_8x8", |b| {
+        let mut n = Network::new(Mesh::new(8, 8), NetCfg::default());
+        let mut t = 0u64;
+        let mut from = 0usize;
+        b.iter(|| {
+            t += 13;
+            from = (from + 17) % 64;
+            black_box(n.send(from, (from + 31) % 64, 80, t));
+        });
+    });
+}
+
+criterion_group!(benches, engine, mem, net);
+criterion_main!(benches);

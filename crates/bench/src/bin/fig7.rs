@@ -1,0 +1,33 @@
+//! Regenerates Figure 7: the summed latency of all reads, broken down by
+//! the level that satisfied them (FLC / SLC / Memory / 2Hop / 3Hop),
+//! normalized to NUMA.
+
+use pimdsm_bench::{default_scale, default_threads, fig6_configs, run_config};
+use pimdsm_proto::Level;
+use pimdsm_workloads::ALL_APPS;
+
+fn main() {
+    let threads = default_threads();
+    let scale = default_scale();
+    println!("Figure 7: aggregated read latency by satisfaction level, normalized to NUMA\n");
+    for app in ALL_APPS {
+        println!("== {} ==", app.name());
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "config", "FLC", "SLC", "Memory", "2Hop", "3Hop", "Total"
+        );
+        let mut base = None;
+        for cfg in fig6_configs(app) {
+            let r = run_config(app, threads, scale, cfg);
+            let lat = r.read_latency_by_level();
+            let total: u64 = lat.iter().sum();
+            let b = *base.get_or_insert(total.max(1)) as f64;
+            print!("{:<12}", r.label);
+            for l in Level::ALL {
+                print!(" {:>8.3}", lat[l.index()] as f64 / b);
+            }
+            println!(" {:>8.3}", total as f64 / b);
+        }
+        println!();
+    }
+}

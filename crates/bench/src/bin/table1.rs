@@ -1,0 +1,22 @@
+//! Regenerates Table 1: architectural parameters — uncontended round-trip
+//! latencies, paper vs. measured on this simulator.
+
+use pimdsm::calibration::{measure, PAPER};
+
+fn main() {
+    let m = measure();
+    println!("Table 1: uncontended round-trip latencies (CPU cycles)");
+    println!("{:<28} {:>8} {:>10}", "device", "paper", "measured");
+    let rows = [
+        ("On-Chip L1", PAPER.l1, m.l1),
+        ("On-Chip L2", PAPER.l2, m.l2),
+        ("Local memory, on-chip", PAPER.mem_on, m.mem_on),
+        ("Local memory, off-chip", PAPER.mem_off, m.mem_off),
+        ("Remote memory, 2-node hop", PAPER.hop2, m.hop2),
+        ("Remote memory, 3-node hop", PAPER.hop3, m.hop3),
+    ];
+    for (name, paper, measured) in rows {
+        let delta = 100.0 * (measured as f64 - paper as f64) / paper as f64;
+        println!("{name:<28} {paper:>8} {measured:>10}   ({delta:+.1}%)");
+    }
+}

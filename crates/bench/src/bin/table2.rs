@@ -1,0 +1,28 @@
+//! Regenerates Table 2: latency and occupancy of the major protocol
+//! handlers, for the AGG software implementation and the hardware
+//! controllers of NUMA/COMA (70% of software, per Section 3).
+
+use pimdsm_proto::{ControllerKind, HandlerCosts, HandlerKind};
+
+fn main() {
+    println!("Table 2: protocol handler costs (processor cycles)");
+    for (label, kind) in [
+        ("AGG (software handlers on D-node processors)", ControllerKind::Software),
+        ("NUMA/COMA (custom hardware controllers, 70%)", ControllerKind::Hardware),
+    ] {
+        let c = HandlerCosts::paper(kind);
+        println!("\n{label}");
+        println!("{:<18} {:>8} {:>22}", "handler", "latency", "occupancy");
+        let (l, o) = c.cost(HandlerKind::Read, 0);
+        println!("{:<18} {:>8} {:>22}", "Read", l, o);
+        let (l, o) = c.cost(HandlerKind::ReadExclusive, 0);
+        println!(
+            "{:<18} {:>8} {:>14} + {}/inval",
+            "Read Exclusive", l, o, c.per_inval
+        );
+        let (l, o) = c.cost(HandlerKind::Acknowledgment, 0);
+        println!("{:<18} {:>8} {:>22}", "Acknowledgment", l, o);
+        let (l, o) = c.cost(HandlerKind::WriteBack, 0);
+        println!("{:<18} {:>8} {:>22}", "Write Back", l, o);
+    }
+}

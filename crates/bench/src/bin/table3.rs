@@ -1,0 +1,30 @@
+//! Regenerates Table 3: the applications, their paper problem sizes, their
+//! cache configurations, and the scaled sizes this harness actually runs.
+
+use pimdsm_bench::{default_scale, default_threads};
+use pimdsm_workloads::{build, ALL_APPS};
+
+fn main() {
+    let scale = default_scale();
+    let threads = default_threads();
+    println!("Table 3: applications (scaled footprints at the current scale, {threads} threads)");
+    println!(
+        "{:<8} {:<48} {:>9} {:>12}",
+        "appl.", "description & problem size (paper)", "L1,L2 KB", "scaled fp"
+    );
+    for app in ALL_APPS {
+        let (l1, l2) = app.cache_kb();
+        let w = build(app, threads, scale);
+        println!(
+            "{:<8} {:<48} {:>4},{:<4} {:>9} KiB",
+            app.name(),
+            app.description(),
+            l1,
+            l2,
+            w.footprint_bytes() / 1024
+        );
+    }
+    println!("\n(paper problem sizes are scaled by 1/{} and iteration counts by 1/{};",
+        scale.size_div, scale.iter_div);
+    println!(" memory pressure is preserved because machine DRAM is sized from the scaled footprint)");
+}

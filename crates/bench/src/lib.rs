@@ -1,0 +1,189 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each binary in this crate regenerates one table or figure of the
+//! evaluation section (see `DESIGN.md` for the experiment index); this
+//! library holds the run matrix and formatting they share.
+
+use pimdsm::{ArchSpec, Machine, RunReport};
+use pimdsm_workloads::{build, AppId, Scale};
+
+/// The machine configurations of Figure 6, in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Config {
+    /// CC-NUMA at a given pressure (pressure only sizes memory; NUMA bars
+    /// are pressure-insensitive in the paper and plotted once).
+    Numa,
+    /// Flat COMA at `pressure`.
+    Coma {
+        /// Memory pressure (0.25 / 0.75).
+        pressure: f64,
+    },
+    /// AGG with a D:P ratio of `1/ratio` at `pressure`.
+    Agg {
+        /// P-nodes per D-node (1, 2 or 4).
+        ratio: usize,
+        /// Memory pressure (0.25 / 0.75).
+        pressure: f64,
+    },
+}
+
+impl Config {
+    /// Label in the paper's style ("1/4AGG75", "COMA25", "NUMA").
+    pub fn label(&self) -> String {
+        match self {
+            Config::Numa => "NUMA".to_string(),
+            Config::Coma { pressure } => format!("COMA{}", (pressure * 100.0) as u32),
+            Config::Agg { ratio, pressure } => {
+                format!("1/{}AGG{}", ratio, (pressure * 100.0) as u32)
+            }
+        }
+    }
+
+    /// Memory pressure used for sizing.
+    pub fn pressure(&self) -> f64 {
+        match self {
+            Config::Numa => 0.75,
+            Config::Coma { pressure } | Config::Agg { pressure, .. } => *pressure,
+        }
+    }
+}
+
+/// Runs one application under one configuration.
+pub fn run_config(app: AppId, threads: usize, scale: Scale, config: Config) -> RunReport {
+    let workload = build(app, threads, scale);
+    let spec = match config {
+        Config::Numa => ArchSpec::Numa,
+        Config::Coma { .. } => ArchSpec::Coma,
+        Config::Agg { ratio, .. } => ArchSpec::Agg {
+            n_d: (threads / ratio).max(1),
+        },
+    };
+    let mut machine =
+        Machine::build(spec, workload, config.pressure()).with_label(config.label());
+    machine.run()
+}
+
+/// The per-app AGG reduced-D ratio of Figure 6 (1/2 for the apps that
+/// stress D-nodes, 1/4 otherwise).
+pub fn reduced_ratio(app: AppId) -> usize {
+    if app.wants_half_ratio() {
+        2
+    } else {
+        4
+    }
+}
+
+/// The seven machine configurations of Figure 6 for one application, in
+/// presentation order: NUMA, COMA at 25/75% pressure, 1/1AGG at 25/75%,
+/// and the app's reduced-D AGG at 25/75%.
+pub fn fig6_configs(app: AppId) -> Vec<Config> {
+    let r = reduced_ratio(app);
+    vec![
+        Config::Numa,
+        Config::Coma { pressure: 0.25 },
+        Config::Coma { pressure: 0.75 },
+        Config::Agg {
+            ratio: 1,
+            pressure: 0.25,
+        },
+        Config::Agg {
+            ratio: 1,
+            pressure: 0.75,
+        },
+        Config::Agg {
+            ratio: r,
+            pressure: 0.25,
+        },
+        Config::Agg {
+            ratio: r,
+            pressure: 0.75,
+        },
+    ]
+}
+
+/// Renders a fraction as a padded percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Standard thread count for the main comparison (the paper uses 32; a
+/// smaller count keeps quick runs fast).
+pub fn default_threads() -> usize {
+    std::env::var("PIMDSM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Scale selected via `PIMDSM_SCALE` (full / bench / ci), default bench.
+pub fn default_scale() -> Scale {
+    match std::env::var("PIMDSM_SCALE").as_deref() {
+        Ok("full") => Scale::full(),
+        Ok("ci") => Scale::ci(),
+        _ => Scale::bench(),
+    }
+}
+
+/// Prints a normalized, two-component bar table in the paper's Figure 6
+/// shape.
+pub fn print_fig6_block(app: AppId, rows: &[(String, f64, f64)]) {
+    let base = rows
+        .first()
+        .map(|(_, p, m)| p + m)
+        .filter(|t| *t > 0.0)
+        .unwrap_or(1.0);
+    println!("\n== {} (normalized to {}) ==", app.name(), rows[0].0);
+    println!("{:<12} {:>10} {:>10} {:>10}", "config", "Processor", "Memory", "Total");
+    for (label, proc_t, mem_t) in rows {
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3}",
+            label,
+            proc_t / base,
+            mem_t / base,
+            (proc_t + mem_t) / base
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(Config::Numa.label(), "NUMA");
+        assert_eq!(Config::Coma { pressure: 0.25 }.label(), "COMA25");
+        assert_eq!(
+            Config::Agg {
+                ratio: 4,
+                pressure: 0.75
+            }
+            .label(),
+            "1/4AGG75"
+        );
+    }
+
+    #[test]
+    fn reduced_ratios_follow_table() {
+        assert_eq!(reduced_ratio(AppId::Fft), 2);
+        assert_eq!(reduced_ratio(AppId::Radix), 2);
+        assert_eq!(reduced_ratio(AppId::Ocean), 2);
+        assert_eq!(reduced_ratio(AppId::Barnes), 4);
+        assert_eq!(reduced_ratio(AppId::Dbase), 4);
+    }
+
+    #[test]
+    fn run_config_smoke() {
+        let r = run_config(
+            AppId::Fft,
+            4,
+            Scale::ci(),
+            Config::Agg {
+                ratio: 2,
+                pressure: 0.75,
+            },
+        );
+        assert_eq!(r.arch, "AGG");
+        assert!(r.total_cycles > 0);
+    }
+}

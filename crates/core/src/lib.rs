@@ -1,0 +1,45 @@
+//! # pimdsm — a PIM-based DSM machine simulator
+//!
+//! Reproduction of *"Toward a Cost-Effective DSM Organization That
+//! Exploits Processor-Memory Integration"* (Torrellas, Yang, Nguyen;
+//! HPCA 2000).
+//!
+//! The paper proposes **AGG**: a cache-coherent DSM machine built from a
+//! single type of off-the-shelf Processor-In-Memory chip. Compute nodes
+//! (P-nodes) tag their local DRAM and manage it as a huge cache; identical
+//! chips act as directory nodes (D-nodes) running the coherence protocol
+//! in software over a fully-associative, software-managed backing store.
+//! This crate drives the complete simulation stack and reproduces the
+//! paper's evaluation against flat-COMA and CC-NUMA baselines.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pimdsm::{ArchSpec, Machine};
+//! use pimdsm_workloads::{build, AppId, Scale};
+//!
+//! let workload = build(AppId::Fft, 4, Scale::ci());
+//! let mut machine = Machine::build(ArchSpec::Agg { n_d: 4 }, workload, 0.75);
+//! let report = machine.run();
+//! assert!(report.total_cycles > 0);
+//! println!("{}", report.summary());
+//! ```
+//!
+//! ## Crate map
+//!
+//! - [`config`] — machine sizing (memory pressure, cache clamping, node
+//!   counts) for the three architectures.
+//! - [`machine`] — the execution driver: threads, write buffers, MLP
+//!   windowing, barriers, locks, dynamic reconfiguration, and
+//!   computation-in-memory dispatch.
+//! - [`report`] — per-run statistics in the shape of the paper's figures.
+//! - [`calibration`] — Table 1 latency probes.
+
+pub mod calibration;
+pub mod config;
+pub mod machine;
+pub mod report;
+
+pub use config::{ArchSpec, MachineCfg};
+pub use machine::{Machine, ReconfigPlan};
+pub use report::{RunReport, ThreadAcct};

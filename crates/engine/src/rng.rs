@@ -1,0 +1,300 @@
+//! Deterministic random-number plumbing for the synthetic workloads.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — small, fast,
+//! `Clone`, and bit-for-bit reproducible across platforms and crate
+//! versions, which matters for a simulator whose whole evaluation rests on
+//! repeatable reference streams.
+
+/// A seeded, deterministic RNG used by workload generators.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_engine::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.range(0, 1000), b.range(0, 1000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// Uses Lemire's nearly-divisionless bounded sampling; the tiny modulo
+    /// bias for ranges far below 2^64 is irrelevant for workload synthesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick an index from an empty range");
+        self.range(0, n as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Derives an independent child RNG (e.g. one per thread) so streams do
+    /// not depend on inter-thread interleaving.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.next_u64();
+        SimRng::new(s ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// A Zipf(θ) sampler over `{0, .., n-1}` with a precomputed CDF.
+///
+/// Used to model skewed sharing (e.g. Barnes-Hut tree nodes near the root
+/// are read by every thread far more often than the leaves).
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_engine::{SimRng, Zipf};
+///
+/// let zipf = Zipf::new(1000, 0.9);
+/// let mut rng = SimRng::new(7);
+/// let mut hits0 = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) == 0 {
+///         hits0 += 1;
+///     }
+/// }
+/// // Item 0 is by far the hottest.
+/// assert!(hits0 > 300);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `theta`.
+    ///
+    /// `theta = 0` is uniform; `theta` near 1 is strongly skewed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler covers zero items (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one item index.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        let va: Vec<u64> = (0..32).map(|_| a.range(0, 1_000_000)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.range(0, 1_000_000)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = SimRng::new(4);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.range(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        let mut r = SimRng::new(21);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut root1 = SimRng::new(5);
+        let mut root2 = SimRng::new(5);
+        let mut c1 = root1.fork(0);
+        let mut c2 = root2.fork(0);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut d1 = root1.fork(1);
+        let vals1: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let vals2: Vec<u64> = (0..8).map(|_| d1.next_u64()).collect();
+        assert_ne!(vals1, vals2);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(77);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 items should not be identity");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SimRng::new(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skewed_orders_frequencies() {
+        let z = Zipf::new(16, 1.0);
+        let mut rng = SimRng::new(13);
+        let mut counts = [0u32; 16];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[15]);
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(3, 0.7);
+        let mut rng = SimRng::new(17);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

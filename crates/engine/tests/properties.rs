@@ -1,0 +1,99 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use pimdsm_engine::{EventQueue, SimRng, Timeline, Zipf};
+
+proptest! {
+    /// Service never starts before the request arrives, and the capacity
+    /// handed out inside any 256-cycle window never exceeds the window
+    /// plus one request's duration (the documented overflow tolerance).
+    #[test]
+    fn timeline_capacity_conservation(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..200), 1..300)
+    ) {
+        let mut t = Timeline::new();
+        let mut per_window: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut max_dur = 0;
+        for (at, dur) in reqs {
+            let start = t.acquire(at, dur);
+            prop_assert!(start >= at, "service started before arrival");
+            *per_window.entry(start >> 8).or_insert(0) += dur;
+            max_dur = max_dur.max(dur);
+        }
+        for (_, used) in per_window {
+            prop_assert!(
+                used <= 256 + max_dur,
+                "window oversubscribed: {used} cycles booked"
+            );
+        }
+    }
+
+    /// With nondecreasing arrivals the timeline is a FIFO server up to
+    /// the documented window-boundary tolerance: a service may overlap
+    /// the previous one by at most one request duration (when the
+    /// previous booking ran past its 256-cycle window).
+    #[test]
+    fn timeline_fifo_for_ordered_arrivals(
+        mut gaps in proptest::collection::vec((0u64..50, 1u64..40), 1..100)
+    ) {
+        let mut t = Timeline::new();
+        let mut at = 0;
+        let mut prev_end = 0u64;
+        let mut max_dur = 0u64;
+        for (gap, dur) in gaps.drain(..) {
+            at += gap;
+            let start = t.acquire(at, dur);
+            max_dur = max_dur.max(dur);
+            prop_assert!(
+                start + max_dur >= prev_end,
+                "overlap beyond the one-request tolerance: start {start}, prev end {prev_end}"
+            );
+            prev_end = prev_end.max(start + dur);
+        }
+    }
+
+    /// The event queue pops every event in time order, FIFO on ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u64..100, 0..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(t, seq);
+        }
+        let mut prev: Option<(u64, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            if let Some((pt, pseq)) = prev {
+                prop_assert!(t > pt || (t == pt && seq > pseq), "order violated");
+            }
+            prev = Some((t, seq));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// RNG ranges stay within bounds and forks are deterministic.
+    #[test]
+    fn rng_bounds_and_fork_determinism(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..32 {
+            let x = a.range(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+            prop_assert_eq!(x, b.range(lo, lo + span));
+        }
+        let mut fa = a.fork(7);
+        let mut fb = b.fork(7);
+        prop_assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    /// Zipf samples stay in range for any size/exponent.
+    #[test]
+    fn zipf_in_range(n in 1usize..2000, theta in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+}

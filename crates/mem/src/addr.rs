@@ -1,0 +1,72 @@
+//! Address arithmetic.
+//!
+//! Byte addresses are `u64`. A [`Line`] is a line *number* (the byte
+//! address shifted right by the line-size shift), and a [`Page`] is a page
+//! number. Keeping these as plain integers keeps hot simulator paths
+//! allocation- and conversion-free; the distinct aliases document intent at
+//! API boundaries.
+
+/// A cache/memory line number (byte address >> line shift).
+pub type Line = u64;
+
+/// A page number (byte address >> page shift).
+pub type Page = u64;
+
+/// Line number of a byte address for a line of size `1 << line_shift`.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_mem::line_of;
+/// assert_eq!(line_of(0x1000, 6), 0x40); // 64-byte lines
+/// assert_eq!(line_of(0x103F, 6), 0x40);
+/// assert_eq!(line_of(0x1040, 6), 0x41);
+/// ```
+#[inline]
+pub const fn line_of(addr: u64, line_shift: u32) -> Line {
+    addr >> line_shift
+}
+
+/// Page number of a byte address for a page of size `1 << page_shift`.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_mem::page_of;
+/// assert_eq!(page_of(0x2FFF, 12), 2); // 4 KiB pages
+/// assert_eq!(page_of(0x3000, 12), 3);
+/// ```
+#[inline]
+pub const fn page_of(addr: u64, page_shift: u32) -> Page {
+    addr >> page_shift
+}
+
+/// Page number of a line, given both shifts.
+///
+/// # Panics
+///
+/// Debug-asserts that `page_shift >= line_shift`.
+#[inline]
+pub fn page_of_line(line: Line, line_shift: u32, page_shift: u32) -> Page {
+    debug_assert!(page_shift >= line_shift);
+    line >> (page_shift - line_shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_consistency() {
+        let addr = 0xDEAD_BEEF_u64;
+        let line = line_of(addr, 6);
+        let page = page_of(addr, 12);
+        assert_eq!(page_of_line(line, 6, 12), page);
+    }
+
+    #[test]
+    fn adjacent_bytes_same_line() {
+        assert_eq!(line_of(64, 6), line_of(127, 6));
+        assert_ne!(line_of(64, 6), line_of(128, 6));
+    }
+}

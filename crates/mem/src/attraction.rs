@@ -1,0 +1,298 @@
+//! The paper's tagged local memory organized as a cache.
+//!
+//! Section 2.1.1: each line of the node's local memory (both the on-chip
+//! DRAM and the off-chip extension) carries state and an address tag, and
+//! the whole local memory behaves as a large set-associative cache — an
+//! *attraction memory*. The on- and off-chip portions hold exclusive data;
+//! when the processor references a line found off-chip, that line swaps
+//! with an on-chip line at memory-line grain (managed in hardware as in
+//! Saulsbury et al.).
+//!
+//! [`AttractionMemory`] composes a [`SetAssocCache`] (tags + state) with a
+//! global LRU of *on-chip* lines: touching an off-chip resident line
+//! promotes it on-chip, demoting the least-recently-used on-chip line. The
+//! caller charges the corresponding latency (the paper's 37 vs 57-cycle
+//! local round trips).
+
+use crate::addr::Line;
+use crate::cache::{CacheCfg, Evicted, SetAssocCache};
+use crate::keyed_queue::KeyedQueue;
+
+/// Where a resident line was found, before any promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// In the on-chip DRAM portion (fast: 37-cycle round trip in Table 1).
+    OnChip,
+    /// In the off-chip DRAM extension (57-cycle round trip in Table 1).
+    OffChip,
+}
+
+/// Result of inserting a line into an [`AttractionMemory`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmInsert<S> {
+    /// A line evicted from the node's memory entirely (set conflict), which
+    /// the coherence protocol must now handle (write back, inject, ...).
+    pub victim: Option<Evicted<S>>,
+}
+
+/// Tagged local memory managed as a cache, with an on-/off-chip split.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_mem::{AttractionMemory, CacheCfg, Residency};
+///
+/// // 4 lines total, only 2 fit on chip.
+/// let cfg = CacheCfg::new(256, 4, 6);
+/// let mut am: AttractionMemory<u8> = AttractionMemory::new(cfg, 2);
+/// am.insert(0, 0, |_| 0);
+/// am.insert(1, 1, |_| 0);
+/// am.insert(2, 2, |_| 0); // pushes line 0 off chip
+/// assert_eq!(am.touch(0), Some(Residency::OffChip));
+/// // ... and touching it swapped it back on chip:
+/// assert_eq!(am.touch(0), Some(Residency::OnChip));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttractionMemory<S> {
+    cache: SetAssocCache<S>,
+    onchip: KeyedQueue<Line>,
+    onchip_cap: usize,
+    swaps: u64,
+}
+
+impl<S> AttractionMemory<S> {
+    /// Creates an attraction memory with `cfg` total geometry of which at
+    /// most `onchip_lines` lines are resident on chip at a time.
+    pub fn new(cfg: CacheCfg, onchip_lines: usize) -> Self {
+        AttractionMemory {
+            cache: SetAssocCache::new(cfg),
+            onchip: KeyedQueue::new(),
+            onchip_cap: onchip_lines,
+            swaps: 0,
+        }
+    }
+
+    /// Total geometry (on-chip + off-chip).
+    pub fn cfg(&self) -> &CacheCfg {
+        &self.cache.cfg()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// On-chip capacity in lines.
+    pub fn onchip_capacity(&self) -> usize {
+        self.onchip_cap
+    }
+
+    /// Number of on-chip/off-chip swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// References a line: if resident, returns where it was found and
+    /// promotes it on chip (swapping with the LRU on-chip line if needed).
+    pub fn touch(&mut self, line: Line) -> Option<Residency> {
+        if self.cache.get(line).is_none() {
+            return None;
+        }
+        if self.onchip.move_to_back(&line) {
+            Some(Residency::OnChip)
+        } else {
+            self.promote(line);
+            self.swaps += 1;
+            Some(Residency::OffChip)
+        }
+    }
+
+    fn promote(&mut self, line: Line) {
+        if self.onchip_cap == 0 {
+            return;
+        }
+        if self.onchip.len() >= self.onchip_cap {
+            self.onchip.pop_front();
+        }
+        self.onchip.push_back(line);
+    }
+
+    /// Payload access without promotion or LRU update.
+    pub fn peek(&self, line: Line) -> Option<&S> {
+        self.cache.peek(line)
+    }
+
+    /// Mutable payload access without promotion or LRU update.
+    pub fn peek_mut(&mut self, line: Line) -> Option<&mut S> {
+        self.cache.peek_mut(line)
+    }
+
+    /// Whether a line is resident (on or off chip).
+    pub fn contains(&self, line: Line) -> bool {
+        self.cache.contains(line)
+    }
+
+    /// Whether the set `line` maps to has a free way.
+    pub fn has_room_for(&self, line: Line) -> bool {
+        self.cache.has_room_for(line)
+    }
+
+    /// Where a line currently resides, without promoting it.
+    pub fn residency(&self, line: Line) -> Option<Residency> {
+        if !self.cache.contains(line) {
+            None
+        } else if self.onchip.contains(&line) {
+            Some(Residency::OnChip)
+        } else {
+            Some(Residency::OffChip)
+        }
+    }
+
+    /// Returns what inserting `line` would evict, without changing state.
+    pub fn peek_victim(
+        &self,
+        line: Line,
+        victim_class: impl Fn(&S) -> u32,
+    ) -> Option<(Line, &S)> {
+        self.cache.peek_victim(line, victim_class)
+    }
+
+    /// Inserts a line (landing on chip), evicting a set conflict victim if
+    /// necessary. `victim_class` ranks eviction candidates as in
+    /// [`SetAssocCache::insert`].
+    pub fn insert(
+        &mut self,
+        line: Line,
+        state: S,
+        victim_class: impl Fn(&S) -> u32,
+    ) -> AmInsert<S> {
+        let victim = self.cache.insert(line, state, victim_class);
+        if let Some(ev) = &victim {
+            self.onchip.remove(&ev.line);
+        }
+        if !self.onchip.contains(&line) {
+            self.promote(line);
+        }
+        AmInsert { victim }
+    }
+
+    /// Removes a line, returning its payload.
+    pub fn remove(&mut self, line: Line) -> Option<S> {
+        let s = self.cache.remove(line);
+        if s.is_some() {
+            self.onchip.remove(&line);
+        }
+        s
+    }
+
+    /// Iterates over all resident `(line, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Line, &S)> {
+        self.cache.iter()
+    }
+
+    /// Drains every resident line (used when a node is reconfigured from
+    /// P to D and its memory reverts to plain DRAM).
+    pub fn drain_all(&mut self) -> Vec<(Line, S)> {
+        while self.onchip.pop_front().is_some() {}
+        self.cache.drain_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn am(total_lines: u64, ways: u32, onchip: usize) -> AttractionMemory<u32> {
+        AttractionMemory::new(CacheCfg::new(total_lines * 64, ways, 6), onchip)
+    }
+
+    #[test]
+    fn miss_on_absent_line() {
+        let mut m = am(8, 4, 4);
+        assert_eq!(m.touch(3), None);
+        assert_eq!(m.residency(3), None);
+    }
+
+    #[test]
+    fn insert_lands_on_chip() {
+        let mut m = am(8, 4, 4);
+        m.insert(1, 10, |_| 0);
+        assert_eq!(m.residency(1), Some(Residency::OnChip));
+        assert_eq!(m.touch(1), Some(Residency::OnChip));
+    }
+
+    #[test]
+    fn lru_demotion_to_off_chip() {
+        let mut m = am(8, 8, 2);
+        m.insert(0, 0, |_| 0);
+        m.insert(1, 1, |_| 0);
+        m.insert(2, 2, |_| 0); // demotes 0
+        assert_eq!(m.residency(0), Some(Residency::OffChip));
+        assert_eq!(m.residency(1), Some(Residency::OnChip));
+        assert_eq!(m.residency(2), Some(Residency::OnChip));
+    }
+
+    #[test]
+    fn touch_swaps_off_chip_line_in() {
+        let mut m = am(8, 8, 2);
+        m.insert(0, 0, |_| 0);
+        m.insert(1, 1, |_| 0);
+        m.insert(2, 2, |_| 0);
+        assert_eq!(m.swaps(), 0);
+        assert_eq!(m.touch(0), Some(Residency::OffChip));
+        assert_eq!(m.swaps(), 1);
+        assert_eq!(m.residency(0), Some(Residency::OnChip));
+        // The LRU on-chip line (1) was demoted to make room.
+        assert_eq!(m.residency(1), Some(Residency::OffChip));
+    }
+
+    #[test]
+    fn eviction_removes_from_onchip_tracking() {
+        // 1 set, 2 ways, both on chip.
+        let mut m = am(2, 2, 2);
+        m.insert(0, 0, |_| 0);
+        m.insert(1, 1, |_| 0);
+        let r = m.insert(2, 2, |_| 0);
+        let victim = r.victim.unwrap();
+        assert_eq!(victim.line, 0);
+        assert_eq!(m.residency(victim.line), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn zero_onchip_capacity_everything_off_chip() {
+        let mut m = am(4, 4, 0);
+        m.insert(0, 0, |_| 0);
+        assert_eq!(m.residency(0), Some(Residency::OffChip));
+        assert_eq!(m.touch(0), Some(Residency::OffChip));
+        // No promotion possible.
+        assert_eq!(m.residency(0), Some(Residency::OffChip));
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        let mut m = am(4, 4, 4);
+        m.insert(0, 7, |_| 0);
+        assert_eq!(m.remove(0), Some(7));
+        assert_eq!(m.remove(0), None);
+        assert_eq!(m.residency(0), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn drain_all_empties_memory() {
+        let mut m = am(8, 4, 2);
+        for i in 0..6 {
+            m.insert(i, i as u32, |_| 0);
+        }
+        let drained = m.drain_all();
+        assert_eq!(drained.len(), 6);
+        assert!(m.is_empty());
+        assert_eq!(m.residency(0), None);
+    }
+}

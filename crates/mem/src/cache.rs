@@ -1,0 +1,422 @@
+//! Generic set-associative cache with LRU and victim-class replacement.
+
+use std::fmt;
+
+use crate::addr::Line;
+
+/// Geometry of a set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_mem::CacheCfg;
+///
+/// let l1 = CacheCfg::new(8 * 1024, 1, 6); // 8 KiB direct-mapped, 64 B lines
+/// assert_eq!(l1.num_sets(), 128);
+/// assert_eq!(l1.capacity_lines(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCfg {
+    size_bytes: u64,
+    ways: u32,
+    line_shift: u32,
+    hashed_index: bool,
+}
+
+impl CacheCfg {
+    /// Creates a geometry of `size_bytes` total capacity, `ways`
+    /// associativity and `1 << line_shift`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a whole, nonzero number of sets of
+    /// whole lines.
+    pub fn new(size_bytes: u64, ways: u32, line_shift: u32) -> Self {
+        assert!(ways > 0, "cache needs at least one way");
+        let line = 1u64 << line_shift;
+        assert!(
+            size_bytes >= line * ways as u64,
+            "cache of {size_bytes} B cannot hold one set of {ways} x {line} B lines"
+        );
+        assert_eq!(
+            size_bytes % (line * ways as u64),
+            0,
+            "cache size must be a whole number of sets"
+        );
+        CacheCfg {
+            size_bytes,
+            ways,
+            line_shift,
+            hashed_index: false,
+        }
+    }
+
+    /// Enables index hashing: the set is selected by a multiplicative
+    /// hash of the line number instead of its low bits. SRAM caches use
+    /// plain indexing, but memory-as-a-cache designs hash the index so
+    /// page-aligned array bases do not stack into the same sets.
+    pub fn with_hashed_index(mut self) -> Self {
+        self.hashed_index = true;
+        self
+    }
+
+    /// Whether the index is hashed.
+    pub fn hashed_index(&self) -> bool {
+        self.hashed_index
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size is `1 << line_shift()` bytes.
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / ((1u64 << self.line_shift) * self.ways as u64)
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> u64 {
+        self.size_bytes >> self.line_shift
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<S> {
+    line: Line,
+    state: S,
+    last_use: u64,
+}
+
+/// A line evicted to make room for an insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<S> {
+    /// Line number of the victim.
+    pub line: Line,
+    /// Its payload at eviction time.
+    pub state: S,
+}
+
+/// A set-associative cache mapping line numbers to a payload `S`.
+///
+/// The payload is the per-line coherence state (plus whatever the protocol
+/// wants to remember). Lines not present are simply absent — there is no
+/// "invalid" payload.
+///
+/// Replacement is LRU within the victim class chosen by the caller: on
+/// insertion the caller supplies a `victim_class` function mapping payloads
+/// to a priority (higher = evict first), which is how the COMA policy
+/// "replace invalid, then shared non-master, then master" is expressed.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_mem::{CacheCfg, SetAssocCache};
+///
+/// let mut c: SetAssocCache<char> = SetAssocCache::new(CacheCfg::new(256, 2, 6));
+/// assert!(c.insert(0, 'a', |_| 0).is_none());
+/// assert!(c.insert(2, 'b', |_| 0).is_none()); // same set (2 sets, stride 2)
+/// let victim = c.insert(4, 'c', |_| 0).unwrap(); // set full: LRU evicted
+/// assert_eq!(victim.line, 0);
+/// assert_eq!(victim.state, 'a');
+/// ```
+#[derive(Clone)]
+pub struct SetAssocCache<S> {
+    cfg: CacheCfg,
+    sets: Vec<Vec<Entry<S>>>,
+    tick: u64,
+    len: usize,
+}
+
+impl<S: fmt::Debug> fmt::Debug for SetAssocCache<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetAssocCache")
+            .field("cfg", &self.cfg)
+            .field("resident_lines", &self.len)
+            .finish()
+    }
+}
+
+impl<S> SetAssocCache<S> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheCfg) -> Self {
+        let n = cfg.num_sets() as usize;
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            sets.push(Vec::with_capacity(cfg.ways() as usize));
+        }
+        SetAssocCache {
+            cfg,
+            sets,
+            tick: 0,
+            len: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn cfg(&self) -> &CacheCfg {
+        &self.cfg
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn set_index(&self, line: Line) -> usize {
+        let n = self.cfg.num_sets();
+        if self.cfg.hashed_index() {
+            (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) as usize % n as usize
+        } else {
+            (line % n) as usize
+        }
+    }
+
+    /// Looks up a line, updating LRU. Returns the payload if present.
+    pub fn get(&mut self, line: Line) -> Option<&mut S> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+        self.sets[set].iter_mut().find(|e| e.line == line).map(|e| {
+            e.last_use = tick;
+            &mut e.state
+        })
+    }
+
+    /// Looks up a line without touching LRU.
+    pub fn peek(&self, line: Line) -> Option<&S> {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| &e.state)
+    }
+
+    /// Mutable lookup without touching LRU.
+    pub fn peek_mut(&mut self, line: Line) -> Option<&mut S> {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter_mut()
+            .find(|e| e.line == line)
+            .map(|e| &mut e.state)
+    }
+
+    /// Whether a line is resident.
+    pub fn contains(&self, line: Line) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts (or overwrites) a line, evicting if the set is full.
+    ///
+    /// `victim_class` ranks potential victims: the victim is the line with
+    /// the *highest* class, ties broken by LRU. Returns the evicted line,
+    /// if any. Inserting an already-resident line overwrites its payload
+    /// and returns `None`.
+    pub fn insert(
+        &mut self,
+        line: Line,
+        state: S,
+        victim_class: impl Fn(&S) -> u32,
+    ) -> Option<Evicted<S>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.cfg.ways() as usize;
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
+            e.state = state;
+            e.last_use = tick;
+            return None;
+        }
+
+        let evicted = if set.len() == ways {
+            // Pick victim: highest class, then least recently used.
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| (victim_class(&e.state), std::cmp::Reverse(e.last_use)))
+                .expect("set is full, so non-empty");
+            let victim = set.swap_remove(vi);
+            self.len -= 1;
+            Some(Evicted {
+                line: victim.line,
+                state: victim.state,
+            })
+        } else {
+            None
+        };
+
+        set.push(Entry {
+            line,
+            state,
+            last_use: tick,
+        });
+        self.len += 1;
+        evicted
+    }
+
+    /// Returns what [`SetAssocCache::insert`] of `line` would evict right
+    /// now, without changing any state. `None` means the insertion would
+    /// be eviction-free (free way, or the line is already resident).
+    pub fn peek_victim(&self, line: Line, victim_class: impl Fn(&S) -> u32) -> Option<(Line, &S)> {
+        let set = &self.sets[self.set_index(line)];
+        if set.len() < self.cfg.ways() as usize || set.iter().any(|e| e.line == line) {
+            return None;
+        }
+        set.iter()
+            .max_by_key(|e| (victim_class(&e.state), std::cmp::Reverse(e.last_use)))
+            .map(|e| (e.line, &e.state))
+    }
+
+    /// Removes a line, returning its payload if it was resident.
+    pub fn remove(&mut self, line: Line) -> Option<S> {
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|e| e.line == line)?;
+        self.len -= 1;
+        Some(set.swap_remove(pos).state)
+    }
+
+    /// Whether the set that `line` maps to has a free way.
+    pub fn has_room_for(&self, line: Line) -> bool {
+        self.sets[self.set_index(line)].len() < self.cfg.ways() as usize
+    }
+
+    /// Iterates over all resident `(line, payload)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Line, &S)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|e| (e.line, &e.state)))
+    }
+
+    /// Drains every resident line, leaving the cache empty.
+    pub fn drain_all(&mut self) -> Vec<(Line, S)> {
+        self.len = 0;
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for e in set.drain(..) {
+                out.push((e.line, e.state));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn any(_: &u32) -> u32 {
+        0
+    }
+
+    #[test]
+    fn cfg_geometry() {
+        let cfg = CacheCfg::new(32 * 1024, 4, 6);
+        assert_eq!(cfg.num_sets(), 128);
+        assert_eq!(cfg.capacity_lines(), 512);
+        assert_eq!(cfg.ways(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn cfg_rejects_ragged_size() {
+        // 448 B holds two 3-way sets of 64 B lines plus 64 B of slack.
+        CacheCfg::new(448, 3, 6);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SetAssocCache::new(CacheCfg::new(1024, 2, 6));
+        c.insert(7, 42u32, any);
+        assert_eq!(c.get(7), Some(&mut 42));
+        assert_eq!(c.peek(7), Some(&42));
+        assert!(c.contains(7));
+        assert!(!c.contains(8));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2 sets, 2 ways: lines 0,2,4 map to set 0.
+        let mut c = SetAssocCache::new(CacheCfg::new(256, 2, 6));
+        c.insert(0, 'a', |_| 0);
+        c.insert(2, 'b', |_| 0);
+        c.get(0); // make 2 the LRU
+        let v = c.insert(4, 'c', |_| 0).unwrap();
+        assert_eq!(v.line, 2);
+        assert!(c.contains(0) && c.contains(4));
+    }
+
+    #[test]
+    fn victim_class_beats_lru() {
+        let mut c = SetAssocCache::new(CacheCfg::new(256, 2, 6));
+        c.insert(0, 'M', |_| 0); // "master": class 0
+        c.insert(2, 'S', |_| 0); // "shared": class 1
+        c.get(2); // shared is MRU
+        let v = c
+            .insert(4, 'X', |s| if *s == 'S' { 1 } else { 0 })
+            .unwrap();
+        assert_eq!(v.line, 2, "higher victim class evicted despite MRU");
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let mut c = SetAssocCache::new(CacheCfg::new(256, 2, 6));
+        c.insert(0, 1u32, any);
+        c.insert(2, 2u32, any);
+        assert!(c.insert(0, 10u32, any).is_none());
+        assert_eq!(c.peek(0), Some(&10));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_way() {
+        let mut c = SetAssocCache::new(CacheCfg::new(256, 2, 6));
+        c.insert(0, 'a', |_| 0);
+        c.insert(2, 'b', |_| 0);
+        assert!(!c.has_room_for(4));
+        assert_eq!(c.remove(0), Some('a'));
+        assert!(c.has_room_for(4));
+        assert!(c.insert(4, 'c', |_| 0).is_none());
+        assert_eq!(c.remove(999), None);
+    }
+
+    #[test]
+    fn iter_and_drain() {
+        let mut c = SetAssocCache::new(CacheCfg::new(1024, 4, 6));
+        for i in 0..10u64 {
+            c.insert(i, i as u32, any);
+        }
+        assert_eq!(c.iter().count(), 10);
+        let mut drained = c.drain_all();
+        drained.sort_unstable();
+        assert_eq!(drained.len(), 10);
+        assert!(c.is_empty());
+        assert_eq!(drained[3], (3, 3));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = SetAssocCache::new(CacheCfg::new(128, 1, 6)); // 2 sets
+        c.insert(0, 'a', |_| 0);
+        let v = c.insert(2, 'b', |_| 0).unwrap(); // same set in 2-set cache
+        assert_eq!(v.line, 0);
+    }
+}

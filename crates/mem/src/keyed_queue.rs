@@ -1,0 +1,266 @@
+//! An O(1) keyed doubly-linked queue.
+//!
+//! Supports push-to-back, pop-from-front, arbitrary removal by key, and
+//! move-to-back — the operation mix needed both by the attraction memory's
+//! on-chip LRU (move-to-back on touch, pop-front to pick the LRU swap
+//! victim) and by the AGG D-node's FreeList/SharedList (FIFO insertion at
+//! the tail, reclamation from the head, unlink when a line changes state;
+//! Section 2.2.2 of the paper).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+/// A FIFO/LRU list with O(1) removal by key.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_mem::KeyedQueue;
+///
+/// let mut q = KeyedQueue::new();
+/// q.push_back(10u64);
+/// q.push_back(20);
+/// q.push_back(30);
+/// assert!(q.remove(&20));
+/// assert_eq!(q.pop_front(), Some(10));
+/// assert_eq!(q.pop_front(), Some(30));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyedQueue<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Copy> KeyedQueue<K> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        KeyedQueue {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of queued keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `key` is queued.
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// The key at the front (oldest), if any.
+    pub fn front(&self) -> Option<&K> {
+        if self.head == NIL {
+            None
+        } else {
+            Some(&self.nodes[self.head].key)
+        }
+    }
+
+    /// Appends `key` at the back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already queued; callers track membership and a
+    /// double insert indicates a protocol bookkeeping bug.
+    pub fn push_back(&mut self, key: K) {
+        assert!(
+            !self.index.contains_key(&key),
+            "key already queued; duplicate insertion is a bookkeeping bug"
+        );
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i] = Node {
+                key,
+                prev: self.tail,
+                next: NIL,
+            };
+            i
+        } else {
+            self.nodes.push(Node {
+                key,
+                prev: self.tail,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        };
+        if self.tail != NIL {
+            self.nodes[self.tail].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.index.insert(key, idx);
+    }
+
+    /// Removes and returns the front key, if any.
+    pub fn pop_front(&mut self) -> Option<K> {
+        if self.head == NIL {
+            return None;
+        }
+        let key = self.nodes[self.head].key;
+        self.remove(&key);
+        Some(key)
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let Some(idx) = self.index.remove(key) else {
+            return false;
+        };
+        let Node { prev, next, .. } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.free.push(idx);
+        true
+    }
+
+    /// Moves `key` to the back (most-recently-used position), returning
+    /// whether it was present.
+    pub fn move_to_back(&mut self, key: &K) -> bool {
+        if !self.contains(key) {
+            return false;
+        }
+        let k = *key;
+        self.remove(&k);
+        self.push_back(k);
+        true
+    }
+
+    /// Iterates front-to-back.
+    pub fn iter(&self) -> Iter<'_, K> {
+        Iter {
+            queue: self,
+            cur: self.head,
+        }
+    }
+}
+
+/// Front-to-back iterator over a [`KeyedQueue`], produced by
+/// [`KeyedQueue::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, K> {
+    queue: &'a KeyedQueue<K>,
+    cur: usize,
+}
+
+impl<'a, K> Iterator for Iter<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<&'a K> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.queue.nodes[self.cur];
+        self.cur = node.next;
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = KeyedQueue::new();
+        for i in 0..5u32 {
+            q.push_back(i);
+        }
+        for i in 0..5u32 {
+            assert_eq!(q.pop_front(), Some(i));
+        }
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn remove_middle_and_ends() {
+        let mut q = KeyedQueue::new();
+        for i in 0..5u32 {
+            q.push_back(i);
+        }
+        assert!(q.remove(&2));
+        assert!(q.remove(&0));
+        assert!(q.remove(&4));
+        assert!(!q.remove(&2));
+        let rest: Vec<u32> = q.iter().copied().collect();
+        assert_eq!(rest, vec![1, 3]);
+    }
+
+    #[test]
+    fn move_to_back_reorders() {
+        let mut q = KeyedQueue::new();
+        for i in 0..3u32 {
+            q.push_back(i);
+        }
+        assert!(q.move_to_back(&0));
+        assert!(!q.move_to_back(&99));
+        let order: Vec<u32> = q.iter().copied().collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let mut q = KeyedQueue::new();
+        for i in 0..100u32 {
+            q.push_back(i);
+        }
+        for i in 0..100u32 {
+            assert!(q.remove(&i));
+        }
+        for i in 100..200u32 {
+            q.push_back(i);
+        }
+        // Internal node storage did not grow past the peak.
+        assert!(q.nodes.len() <= 100);
+        assert_eq!(q.len(), 100);
+        assert_eq!(q.front(), Some(&100));
+    }
+
+    #[test]
+    #[should_panic(expected = "already queued")]
+    fn duplicate_push_panics() {
+        let mut q = KeyedQueue::new();
+        q.push_back(1u32);
+        q.push_back(1u32);
+    }
+
+    #[test]
+    fn front_peeks_without_removal() {
+        let mut q = KeyedQueue::new();
+        assert_eq!(q.front(), None);
+        q.push_back(9u64);
+        assert_eq!(q.front(), Some(&9));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Memory hierarchy models for the PIM-DSM simulator.
+//!
+//! The paper's node (Figure 1-(c)) is a PIM chip: a processor, two levels
+//! of SRAM cache, a slab of on-chip DRAM, and an off-chip DRAM extension
+//! reached over a dedicated high-bandwidth link. This crate models every
+//! storage structure in that node:
+//!
+//! - [`SetAssocCache`] — generic set-associative cache with per-line
+//!   payload, LRU replacement and pluggable victim-class priorities (the
+//!   COMA replacement policy needs "invalid first, then shared non-master,
+//!   then master").
+//! - [`AttractionMemory`] — the paper's tagged local memory organized as a
+//!   cache (Section 2.1.1), including the on-/off-chip residency split with
+//!   exclusive line swapping at a memory-line grain.
+//! - [`Dram`] — a bandwidth-limited memory device built on a
+//!   [`Timeline`](pimdsm_engine::Timeline).
+//! - [`PageTable`] — first-touch page placement with per-node capacity.
+//! - [`KeyedQueue`] — an O(1) keyed FIFO/LRU list, reused by the attraction
+//!   memory's on-chip LRU and by the AGG D-node's FreeList/SharedList.
+//!
+//! Addresses are plain `u64` byte addresses; [`line_of`] and [`page_of`]
+//! convert them to line/page numbers.
+
+pub mod addr;
+pub mod attraction;
+pub mod cache;
+pub mod dram;
+pub mod keyed_queue;
+pub mod pages;
+
+pub use addr::{line_of, page_of, Line, Page};
+pub use attraction::{AmInsert, AttractionMemory, Residency};
+pub use cache::{CacheCfg, Evicted, SetAssocCache};
+pub use dram::Dram;
+pub use keyed_queue::KeyedQueue;
+pub use pages::PageTable;

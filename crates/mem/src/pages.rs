@@ -1,0 +1,183 @@
+//! First-touch page placement.
+//!
+//! All three architectures in the paper allocate pages with a first-touch
+//! policy: the first node to reference a page becomes (or chooses) its
+//! home. The page table records the home node of every mapped page; homes
+//! can later be reassigned (D-node reconfiguration moves the pages an
+//! ex-D-node was serving) or unmapped (paged out to disk).
+
+use std::collections::HashMap;
+
+use crate::addr::Page;
+
+/// Node index within the machine.
+pub type NodeId = usize;
+
+/// A page-number → home-node map with first-touch assignment.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_mem::PageTable;
+///
+/// let mut pt = PageTable::new(12); // 4 KiB pages
+/// let home = pt.home_or_assign(0x5000 >> 12, || 3);
+/// assert_eq!(home, 3);
+/// // Subsequent touches see the established home.
+/// assert_eq!(pt.home_or_assign(0x5000 >> 12, || 9), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    page_shift: u32,
+    homes: HashMap<Page, NodeId>,
+    per_node: HashMap<NodeId, u64>,
+}
+
+impl PageTable {
+    /// Creates an empty table for pages of `1 << page_shift` bytes.
+    pub fn new(page_shift: u32) -> Self {
+        PageTable {
+            page_shift,
+            homes: HashMap::new(),
+            per_node: HashMap::new(),
+        }
+    }
+
+    /// Page size shift.
+    pub fn page_shift(&self) -> u32 {
+        self.page_shift
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        1 << self.page_shift
+    }
+
+    /// Home of `page`, if mapped.
+    pub fn home(&self, page: Page) -> Option<NodeId> {
+        self.homes.get(&page).copied()
+    }
+
+    /// Home of `page`, assigning it via `assign` on first touch.
+    pub fn home_or_assign(&mut self, page: Page, assign: impl FnOnce() -> NodeId) -> NodeId {
+        if let Some(&h) = self.homes.get(&page) {
+            return h;
+        }
+        let h = assign();
+        self.homes.insert(page, h);
+        *self.per_node.entry(h).or_insert(0) += 1;
+        h
+    }
+
+    /// Moves `page` to a new home. Returns the old home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not mapped.
+    pub fn reassign(&mut self, page: Page, new_home: NodeId) -> NodeId {
+        let slot = self
+            .homes
+            .get_mut(&page)
+            .expect("cannot reassign an unmapped page");
+        let old = *slot;
+        *slot = new_home;
+        if let Some(c) = self.per_node.get_mut(&old) {
+            *c -= 1;
+        }
+        *self.per_node.entry(new_home).or_insert(0) += 1;
+        old
+    }
+
+    /// Unmaps `page` (paged out to disk). Returns its home, if it was
+    /// mapped.
+    pub fn unmap(&mut self, page: Page) -> Option<NodeId> {
+        let home = self.homes.remove(&page)?;
+        if let Some(c) = self.per_node.get_mut(&home) {
+            *c -= 1;
+        }
+        Some(home)
+    }
+
+    /// Number of pages homed at `node`.
+    pub fn pages_at(&self, node: NodeId) -> u64 {
+        self.per_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// All pages homed at `node`, in unspecified order.
+    pub fn pages_homed_at(&self, node: NodeId) -> Vec<Page> {
+        self.homes
+            .iter()
+            .filter(|(_, &h)| h == node)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Total mapped pages.
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Whether no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+
+    /// Iterates over `(page, home)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Page, NodeId)> + '_ {
+        self.homes.iter().map(|(&p, &h)| (p, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_sticks() {
+        let mut pt = PageTable::new(12);
+        assert_eq!(pt.home_or_assign(7, || 2), 2);
+        assert_eq!(pt.home_or_assign(7, || 5), 2);
+        assert_eq!(pt.home(7), Some(2));
+        assert_eq!(pt.home(8), None);
+        assert_eq!(pt.pages_at(2), 1);
+    }
+
+    #[test]
+    fn reassign_moves_counts() {
+        let mut pt = PageTable::new(12);
+        pt.home_or_assign(1, || 0);
+        pt.home_or_assign(2, || 0);
+        assert_eq!(pt.reassign(1, 3), 0);
+        assert_eq!(pt.pages_at(0), 1);
+        assert_eq!(pt.pages_at(3), 1);
+        assert_eq!(pt.home(1), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn reassign_unmapped_panics() {
+        PageTable::new(12).reassign(9, 1);
+    }
+
+    #[test]
+    fn unmap_clears_entry() {
+        let mut pt = PageTable::new(12);
+        pt.home_or_assign(4, || 1);
+        assert_eq!(pt.unmap(4), Some(1));
+        assert_eq!(pt.unmap(4), None);
+        assert_eq!(pt.pages_at(1), 0);
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn pages_homed_at_lists_only_that_node() {
+        let mut pt = PageTable::new(12);
+        pt.home_or_assign(1, || 0);
+        pt.home_or_assign(2, || 1);
+        pt.home_or_assign(3, || 0);
+        let mut at0 = pt.pages_homed_at(0);
+        at0.sort_unstable();
+        assert_eq!(at0, vec![1, 3]);
+        assert_eq!(pt.len(), 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! 2D-mesh topology and XY (dimension-ordered) routing.
+
+/// A node's position in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column (x).
+    pub x: usize,
+    /// Row (y).
+    pub y: usize,
+}
+
+/// Directions of the four outgoing links of a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Dir {
+    East,
+    West,
+    North,
+    South,
+}
+
+impl Dir {
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Dir::East => 0,
+            Dir::West => 1,
+            Dir::North => 2,
+            Dir::South => 3,
+        }
+    }
+}
+
+/// A `cols` × `rows` 2D mesh.
+///
+/// Nodes are numbered row-major: node `i` sits at
+/// `(i % cols, i / cols)`.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_net::Mesh;
+///
+/// let m = Mesh::new(4, 2);
+/// assert_eq!(m.num_nodes(), 8);
+/// assert_eq!(m.hops(0, 7), 4); // 3 east + 1 south
+/// assert_eq!(m.hops(3, 3), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    cols: usize,
+    rows: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh with `cols` columns and `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be nonzero");
+        Mesh { cols, rows }
+    }
+
+    /// Picks a near-square mesh for `n` nodes (cols ≥ rows,
+    /// cols × rows ≥ n).
+    pub fn for_nodes(n: usize) -> Self {
+        assert!(n > 0, "mesh needs at least one node");
+        let rows = (n as f64).sqrt().floor() as usize;
+        let rows = rows.max(1);
+        let cols = n.div_ceil(rows);
+        Mesh::new(cols, rows)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total router positions (may exceed the number of populated nodes).
+    pub fn num_nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Coordinates of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the mesh.
+    pub fn coord(&self, id: usize) -> Coord {
+        assert!(id < self.num_nodes(), "node {id} outside mesh");
+        Coord {
+            x: id % self.cols,
+            y: id / self.cols,
+        }
+    }
+
+    /// Node id at a coordinate.
+    pub fn node_at(&self, c: Coord) -> usize {
+        debug_assert!(c.x < self.cols && c.y < self.rows);
+        c.y * self.cols + c.x
+    }
+
+    /// Manhattan hop count between two nodes.
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        let a = self.coord(from);
+        let b = self.coord(to);
+        a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+    }
+
+    /// Average hop count from `from` to every other node (used to sanity
+    /// check calibration).
+    pub fn mean_hops_from(&self, from: usize) -> f64 {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return 0.0;
+        }
+        let total: usize = (0..n).filter(|&t| t != from).map(|t| self.hops(from, t)).sum();
+        total as f64 / (n - 1) as f64
+    }
+
+    /// The XY route from `from` to `to` as a list of directed link ids
+    /// (see [`Mesh::link_id`]), X first then Y, appended to `out`.
+    pub(crate) fn route_into(&self, from: usize, to: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let mut cur = self.coord(from);
+        let dst = self.coord(to);
+        while cur.x != dst.x {
+            let dir = if dst.x > cur.x { Dir::East } else { Dir::West };
+            out.push(self.link_id(cur, dir));
+            cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        }
+        while cur.y != dst.y {
+            let dir = if dst.y > cur.y { Dir::South } else { Dir::North };
+            out.push(self.link_id(cur, dir));
+            cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        }
+    }
+
+    /// Directed link id for the link leaving the router at `c` in
+    /// direction `dir`. Ids are dense in `[0, 4 * num_nodes)`.
+    pub(crate) fn link_id(&self, c: Coord, dir: Dir) -> usize {
+        self.node_at(c) * 4 + dir.index()
+    }
+
+    /// Total number of directed link slots (including nonexistent edge
+    /// links, which simply go unused).
+    pub fn num_link_slots(&self) -> usize {
+        self.num_nodes() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_numbering() {
+        let m = Mesh::new(3, 2);
+        assert_eq!(m.coord(0), Coord { x: 0, y: 0 });
+        assert_eq!(m.coord(2), Coord { x: 2, y: 0 });
+        assert_eq!(m.coord(3), Coord { x: 0, y: 1 });
+        assert_eq!(m.node_at(Coord { x: 2, y: 1 }), 5);
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = Mesh::new(8, 8);
+        assert_eq!(m.hops(0, 63), 14);
+        assert_eq!(m.hops(9, 9), 0);
+        assert_eq!(m.hops(0, 7), 7);
+        assert_eq!(m.hops(0, 56), 7);
+    }
+
+    #[test]
+    fn for_nodes_covers_requested_count() {
+        for n in 1..100 {
+            let m = Mesh::for_nodes(n);
+            assert!(m.num_nodes() >= n, "n={n} mesh={m:?}");
+        }
+        let m = Mesh::for_nodes(64);
+        assert_eq!((m.cols(), m.rows()), (8, 8));
+        let m = Mesh::for_nodes(48);
+        assert_eq!(m.num_nodes(), 48);
+    }
+
+    #[test]
+    fn route_goes_x_then_y() {
+        let m = Mesh::new(4, 4);
+        let mut route = Vec::new();
+        m.route_into(0, 10, &mut route); // (0,0) -> (2,2)
+        assert_eq!(route.len(), 4);
+        // First two links leave (0,0) east then (1,0) east.
+        assert_eq!(route[0], m.link_id(Coord { x: 0, y: 0 }, Dir::East));
+        assert_eq!(route[1], m.link_id(Coord { x: 1, y: 0 }, Dir::East));
+        assert_eq!(route[2], m.link_id(Coord { x: 2, y: 0 }, Dir::South));
+        assert_eq!(route[3], m.link_id(Coord { x: 2, y: 1 }, Dir::South));
+    }
+
+    #[test]
+    fn route_handles_west_and_north() {
+        let m = Mesh::new(4, 4);
+        let mut route = Vec::new();
+        m.route_into(15, 0, &mut route); // (3,3) -> (0,0)
+        assert_eq!(route.len(), 6);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let m = Mesh::new(4, 4);
+        let mut route = vec![1, 2, 3];
+        m.route_into(5, 5, &mut route);
+        assert!(route.is_empty());
+    }
+
+    #[test]
+    fn mean_hops_reasonable() {
+        let m = Mesh::new(8, 8);
+        let mh = m.mean_hops_from(0);
+        assert!(mh > 6.5 && mh < 7.5, "corner mean hops {mh}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Contended wormhole network built on per-link timelines.
+
+use pimdsm_engine::{Cycle, Timeline};
+
+use crate::mesh::Mesh;
+
+/// Network timing parameters.
+///
+/// The paper: 2-byte-wide links cycling at 1 GHz for AGG (2 GB/s per link
+/// per direction); NUMA/COMA links are twice as wide. Router/hop latency
+/// and injection overhead are calibration knobs used to land Table 1's
+/// uncontended remote round trips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetCfg {
+    /// Link bandwidth in bytes per CPU cycle (2 for AGG, 4 for NUMA/COMA).
+    pub bytes_per_cycle: u64,
+    /// Head-flit latency per hop (router + wire), in cycles.
+    pub hop_latency: Cycle,
+    /// Fixed overhead to inject a message at the source NI, in cycles.
+    pub inject_latency: Cycle,
+    /// Fixed overhead to deliver a message at the destination NI, in cycles.
+    pub eject_latency: Cycle,
+}
+
+impl Default for NetCfg {
+    fn default() -> Self {
+        NetCfg {
+            bytes_per_cycle: 2,
+            hop_latency: 9,
+            inject_latency: 10,
+            eject_latency: 10,
+        }
+    }
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Sum over messages of (delivery - injection) cycles.
+    pub total_latency: Cycle,
+    /// Sum of cycles spent queueing for busy links.
+    pub total_queueing: Cycle,
+}
+
+/// A wormhole-routed 2D mesh with contended links.
+///
+/// Every directed link is a [`Timeline`]; a message books each link on its
+/// XY route for its serialization time, while the head pipelines at
+/// [`NetCfg::hop_latency`] per hop. Local (self) messages bypass the
+/// network entirely, as in the paper's node model.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_net::{Mesh, NetCfg, Network};
+///
+/// let mut net = Network::new(Mesh::new(4, 4), NetCfg::default());
+/// let t1 = net.send(0, 3, 16, 0);
+/// let uncontended = t1;
+/// // A second identical message right behind the first queues on links.
+/// let t2 = net.send(0, 3, 16, 0);
+/// assert!(t2 > uncontended);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh,
+    cfg: NetCfg,
+    links: Vec<Timeline>,
+    stats: NetStats,
+    route_buf: Vec<usize>,
+}
+
+impl Network {
+    /// Creates an idle network over `mesh` with timing `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is zero.
+    pub fn new(mesh: Mesh, cfg: NetCfg) -> Self {
+        assert!(cfg.bytes_per_cycle > 0, "link bandwidth must be nonzero");
+        Network {
+            mesh,
+            cfg,
+            links: vec![Timeline::new(); mesh.num_link_slots()],
+            stats: NetStats::default(),
+            route_buf: Vec::with_capacity(32),
+        }
+    }
+
+    /// The topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The timing configuration.
+    pub fn cfg(&self) -> &NetCfg {
+        &self.cfg
+    }
+
+    /// Hop count between two nodes.
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        self.mesh.hops(from, to)
+    }
+
+    /// Sends `bytes` from `from` to `to` starting at `now`; returns the
+    /// delivery cycle. A self-send returns `now` (handled inside the node).
+    pub fn send(&mut self, from: usize, to: usize, bytes: u32, now: Cycle) -> Cycle {
+        if from == to {
+            return now;
+        }
+        let ser = (bytes as u64).div_ceil(self.cfg.bytes_per_cycle);
+        let mut route = std::mem::take(&mut self.route_buf);
+        self.mesh.route_into(from, to, &mut route);
+        let mut head = now + self.cfg.inject_latency;
+        let mut queueing = 0;
+        for &link in &route {
+            let start = self.links[link].acquire(head, ser);
+            queueing += start - head;
+            head = start + self.cfg.hop_latency;
+        }
+        // The tail flit arrives one serialization time after the head.
+        let delivered = head + ser + self.cfg.eject_latency;
+        self.route_buf = route;
+
+        self.stats.messages += 1;
+        self.stats.bytes += bytes as u64;
+        self.stats.total_latency += delivered - now;
+        self.stats.total_queueing += queueing;
+        delivered
+    }
+
+    /// The uncontended latency a `bytes`-sized message would see between
+    /// two nodes (used for calibration probes; does not book links).
+    pub fn ideal_latency(&self, from: usize, to: usize, bytes: u32) -> Cycle {
+        if from == to {
+            return 0;
+        }
+        let ser = (bytes as u64).div_ceil(self.cfg.bytes_per_cycle);
+        let hops = self.mesh.hops(from, to) as u64;
+        self.cfg.inject_latency + hops * self.cfg.hop_latency + ser + self.cfg.eject_latency
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Total busy cycles across all links (for utilization reports).
+    pub fn total_link_busy(&self) -> Cycle {
+        self.links.iter().map(|l| l.busy_cycles()).sum()
+    }
+
+    /// Busy cycles of the single most-loaded link (hot-spot detection).
+    pub fn max_link_busy(&self) -> Cycle {
+        self.links.iter().map(|l| l.busy_cycles()).max().unwrap_or(0)
+    }
+
+    /// Resets statistics (not link schedules).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+        for l in &mut self.links {
+            l.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(Mesh::new(4, 4), NetCfg::default())
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut n = net();
+        assert_eq!(n.send(5, 5, 64, 123), 123);
+        assert_eq!(n.stats().messages, 0);
+    }
+
+    #[test]
+    fn uncontended_matches_ideal() {
+        let mut n = net();
+        let ideal = n.ideal_latency(0, 15, 80);
+        assert_eq!(n.send(0, 15, 80, 1000), 1000 + ideal);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let n = net();
+        assert!(n.ideal_latency(0, 15, 16) > n.ideal_latency(0, 5, 16));
+        assert!(n.ideal_latency(0, 1, 16) > 0);
+    }
+
+    #[test]
+    fn contention_queues_messages() {
+        let mut n = net();
+        let t1 = n.send(0, 3, 128, 0);
+        let t2 = n.send(0, 3, 128, 0);
+        let ser = 128 / 2;
+        assert_eq!(t2 - t1, ser, "second message trails by serialization");
+        assert!(n.stats().total_queueing > 0);
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interfere() {
+        let mut n = net();
+        let a = n.send(0, 1, 64, 0);
+        let b = n.send(14, 15, 64, 0);
+        assert_eq!(a - 0, n.ideal_latency(0, 1, 64));
+        assert_eq!(b - 0, n.ideal_latency(14, 15, 64));
+    }
+
+    #[test]
+    fn wider_links_are_faster() {
+        let narrow = Network::new(Mesh::new(4, 4), NetCfg::default());
+        let wide = Network::new(
+            Mesh::new(4, 4),
+            NetCfg {
+                bytes_per_cycle: 4,
+                ..NetCfg::default()
+            },
+        );
+        assert!(wide.ideal_latency(0, 15, 256) < narrow.ideal_latency(0, 15, 256));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut n = net();
+        n.send(0, 3, 64, 0);
+        n.send(3, 0, 64, 0);
+        let s = n.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 128);
+        assert!(s.total_latency > 0);
+        assert!(n.total_link_busy() > 0);
+        n.reset_stats();
+        assert_eq!(n.stats(), NetStats::default());
+        assert_eq!(n.total_link_busy(), 0);
+    }
+}

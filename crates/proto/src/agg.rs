@@ -1,0 +1,1210 @@
+//! The paper's AGG architecture.
+//!
+//! A single type of off-the-shelf PIM chip plays two roles:
+//!
+//! - **P-nodes** run application threads. Their local DRAM is tagged and
+//!   organized as a big 4-way set-associative cache (attraction memory),
+//!   so after a cache miss the processor can always probe its local memory
+//!   first, whatever the address (Section 2.1.1).
+//! - **D-nodes** run the directory protocol in *software* (Table 2 costs)
+//!   over the Directory/Data/Pointer arrays of Section 2.2.2; their memory
+//!   is the only backing store. Replaced master/dirty lines are always
+//!   taken in by the home (fully-associative software allocation), so AGG
+//!   never injects; under space pressure it pages out to disk instead.
+//!
+//! The system also implements the machine-level operations the paper's
+//! Sections 2.3 and 2.4 need: converting nodes between the P and D roles
+//! at runtime (with page/directory migration) and offloading
+//! computation-in-memory requests to D-node processors.
+
+use pimdsm_engine::Cycle;
+use pimdsm_mem::{line_of, CacheCfg, Line, Page, PageTable};
+use pimdsm_net::{Mesh, NetCfg, NetStats, Network};
+
+use crate::common::{
+    Access, AmState, Census, ControllerKind, CState, HandlerCosts, HandlerKind, LatencyCfg, Level,
+    MsgSize, NodeId, PreloadKind, ProtoStats,
+};
+use crate::dnode::{DNode, DNodeCfg, Master};
+use crate::pnode::{PNodeStore, WriteProbe};
+use crate::system::{data_bytes, MemSystem};
+
+/// Configuration of an [`AggSystem`].
+#[derive(Debug, Clone)]
+pub struct AggCfg {
+    /// Number of compute nodes.
+    pub n_p: usize,
+    /// Number of directory nodes.
+    pub n_d: usize,
+    /// L1 geometry.
+    pub l1: CacheCfg,
+    /// L2 geometry.
+    pub l2: CacheCfg,
+    /// P-node attraction-memory geometry (4-way in the paper).
+    pub p_am: CacheCfg,
+    /// Lines of the P-node memory resident on chip.
+    pub p_onchip_lines: u64,
+    /// D-node sizing and policy.
+    pub dnode: DNodeCfg,
+    /// Line size shift.
+    pub line_shift: u32,
+    /// Page size shift.
+    pub page_shift: u32,
+    /// Latency table.
+    pub lat: LatencyCfg,
+    /// Message sizes.
+    pub msg: MsgSize,
+    /// Network timing (2 B/cycle links in the paper).
+    pub net: NetCfg,
+    /// Protocol handler costs (software, Table 2).
+    pub handler: HandlerCosts,
+    /// Memory port bandwidth, bytes/cycle.
+    pub mem_bytes_per_cycle: u64,
+    /// Extra D-node processor occupancy per page paged out.
+    pub pageout_page_occupancy: Cycle,
+}
+
+impl AggCfg {
+    /// A paper-parameter configuration: `n_p` P-nodes with `p_am_lines`
+    /// lines of tagged local memory each, `n_d` D-nodes with
+    /// `d_data_lines` Data-array lines each.
+    pub fn paper(
+        n_p: usize,
+        n_d: usize,
+        l1_kb: u64,
+        l2_kb: u64,
+        p_am_lines: u64,
+        d_data_lines: u64,
+    ) -> Self {
+        let line_shift = 6;
+        AggCfg {
+            n_p,
+            n_d,
+            l1: CacheCfg::new(l1_kb * 1024, 1, line_shift),
+            l2: CacheCfg::new(l2_kb * 1024, 4, line_shift),
+            p_am: CacheCfg::new(p_am_lines * 64, 4, line_shift),
+            p_onchip_lines: p_am_lines / 2,
+            dnode: DNodeCfg {
+                data_lines: d_data_lines,
+                onchip_lines: d_data_lines / 2,
+                shared_list_min: (d_data_lines / 64).max(4),
+                pageout_batch: 1,
+                reuse_shared_list: true,
+                lines_per_page: 1 << (12 - line_shift),
+                lat_on: 37,
+                lat_off: 57,
+                mem_bytes_per_cycle: 32,
+                line_bytes: 64,
+            },
+            line_shift,
+            page_shift: 12,
+            lat: LatencyCfg::default(),
+            msg: MsgSize::default(),
+            net: NetCfg::default(),
+            handler: HandlerCosts::paper(ControllerKind::Software),
+            mem_bytes_per_cycle: 32,
+            pageout_page_occupancy: 1_000,
+        }
+    }
+}
+
+/// What a mesh slot currently is.
+#[derive(Debug)]
+enum Role {
+    P(Box<PNodeStore>),
+    D(Box<DNode>),
+}
+
+/// The AGG machine.
+#[derive(Debug)]
+pub struct AggSystem {
+    cfg: AggCfg,
+    roles: Vec<Role>,
+    p_list: Vec<NodeId>,
+    d_list: Vec<NodeId>,
+    pages: PageTable,
+    net: Network,
+    stats: ProtoStats,
+}
+
+impl AggSystem {
+    /// Builds an idle AGG machine with D-nodes interleaved evenly among
+    /// the P-nodes on the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are zero P- or D-nodes.
+    pub fn new(cfg: AggCfg) -> Self {
+        assert!(cfg.n_p > 0, "need at least one P-node");
+        assert!(cfg.n_d > 0, "need at least one D-node");
+        let total = cfg.n_p + cfg.n_d;
+        assert!(total <= crate::common::NodeSet::MAX_NODES);
+
+        // Spread D-nodes evenly across the linear node order (which the
+        // row-major mesh turns into a 2D interleaving).
+        let mut is_d = vec![false; total];
+        for i in 0..cfg.n_d {
+            let pos = (i * total + total / 2) / cfg.n_d;
+            is_d[pos.min(total - 1)] = true;
+        }
+        // Rounding collisions: fix up to exactly n_d.
+        let mut count = is_d.iter().filter(|&&d| d).count();
+        let mut idx = 0;
+        while count < cfg.n_d {
+            if !is_d[idx] {
+                is_d[idx] = true;
+                count += 1;
+            }
+            idx += 1;
+        }
+
+        let mut roles = Vec::with_capacity(total);
+        let mut p_list = Vec::new();
+        let mut d_list = Vec::new();
+        for (node, &d) in is_d.iter().enumerate() {
+            if d {
+                d_list.push(node);
+                roles.push(Role::D(Box::new(DNode::new(cfg.dnode))));
+            } else {
+                p_list.push(node);
+                roles.push(Role::P(Box::new(Self::new_pstore(&cfg))));
+            }
+        }
+
+        let net = Network::new(Mesh::for_nodes(total), cfg.net);
+        AggSystem {
+            pages: PageTable::new(cfg.page_shift),
+            roles,
+            p_list,
+            d_list,
+            net,
+            stats: ProtoStats::default(),
+            cfg,
+        }
+    }
+
+    fn new_pstore(cfg: &AggCfg) -> PNodeStore {
+        // Calibrate device latencies so the end-to-end local round trip
+        // (L2 probe + AM tag check + device + fill) lands on Table 1.
+        let overhead = cfg.lat.l2 + cfg.lat.am_tag_check + cfg.lat.fill;
+        PNodeStore::new(
+            cfg.l1,
+            cfg.l2,
+            cfg.p_am,
+            cfg.p_onchip_lines as usize,
+            cfg.lat.mem_on.saturating_sub(overhead),
+            cfg.lat.mem_off.saturating_sub(overhead),
+            cfg.mem_bytes_per_cycle,
+        )
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &AggCfg {
+        &self.cfg
+    }
+
+    /// Current P-nodes.
+    pub fn p_nodes(&self) -> &[NodeId] {
+        &self.p_list
+    }
+
+    /// Current D-nodes.
+    pub fn d_nodes(&self) -> &[NodeId] {
+        &self.d_list
+    }
+
+    fn pstore(&mut self, p: NodeId) -> &mut PNodeStore {
+        match &mut self.roles[p] {
+            Role::P(s) => s,
+            Role::D(_) => panic!("node {p} is a D-node, expected P"),
+        }
+    }
+
+    fn dstore(&mut self, d: NodeId) -> &mut DNode {
+        match &mut self.roles[d] {
+            Role::D(s) => s,
+            Role::P(_) => panic!("node {d} is a P-node, expected D"),
+        }
+    }
+
+    fn dstore_ref(&self, d: NodeId) -> &DNode {
+        match &self.roles[d] {
+            Role::D(s) => s,
+            Role::P(_) => panic!("node {d} is a P-node, expected D"),
+        }
+    }
+
+    fn line_bytes(&self) -> u64 {
+        1 << self.cfg.line_shift
+    }
+
+    fn msg_ctrl(&self) -> u32 {
+        self.cfg.msg.ctrl
+    }
+
+    fn msg_data(&self) -> u32 {
+        data_bytes(self.cfg.msg.data_header, self.cfg.line_shift)
+    }
+
+    fn page_of(&self, line: Line) -> Page {
+        line >> (self.cfg.page_shift - self.cfg.line_shift)
+    }
+
+    /// Home D-node of a line. Homes interleave across the D-nodes by page
+    /// number ("each D-node is home to a fraction of the physical
+    /// addresses", Section 2.2.1), which also spreads protocol load.
+    fn home_of(&mut self, line: Line, _toucher: NodeId) -> NodeId {
+        let page = self.page_of(line);
+        if let Some(h) = self.pages.home(page) {
+            return h;
+        }
+        let best = self.d_list[(page as usize) % self.d_list.len()];
+        self.pages.home_or_assign(page, || best);
+        self.dstore(best).map_page(page);
+        best
+    }
+
+    /// Dispatches a software handler at D-node `d`; returns its grant.
+    fn dispatch(
+        &mut self,
+        d: NodeId,
+        kind: HandlerKind,
+        invals: u32,
+        at: Cycle,
+    ) -> pimdsm_engine::ServerGrant {
+        let (l, o) = self.cfg.handler.cost(kind, invals);
+        self.dstore(d).server.dispatch(at, l, o)
+    }
+
+    /// Ensures D-node `d` has a free Data slot, paging out if necessary.
+    /// Returns the cycle by which the slot is available.
+    fn ensure_slot(&mut self, d: NodeId, line: Line, at: Cycle) -> Cycle {
+        let mut t = at;
+        loop {
+            match self.dstore(d).alloc_slot(line) {
+                Ok(_dropped) => return t,
+                Err(()) => {
+                    t = self.page_out(d, t);
+                }
+            }
+        }
+    }
+
+    /// Threshold-triggered page-out at D-node `d` (Section 2.2.2): the OS
+    /// walks the directory entries of victim pages, recalls lines cached
+    /// in P-nodes, and writes the pages to disk. Returns the cycle at
+    /// which the freed space is usable.
+    fn page_out(&mut self, d: NodeId, at: Cycle) -> Cycle {
+        let batch = self.dstore_ref(d).cfg().pageout_batch;
+        let victims = self.dstore_ref(d).pageout_victims(batch);
+        assert!(
+            !victims.is_empty(),
+            "D-node {d} must page out but maps no pages"
+        );
+        self.stats.page_outs += 1;
+        let lpp = self.dstore_ref(d).cfg().lines_per_page;
+        let data = self.msg_data();
+        let ctrl = self.msg_ctrl();
+        let mut t = at;
+        for page in victims {
+            let first = page * lpp;
+            let mut recalled = 0;
+            for line in first..first + lpp {
+                let Some(e) = self.dstore_ref(d).entry(line).copied() else {
+                    continue;
+                };
+                let mut holders: Vec<NodeId> = e.sharers.iter().collect();
+                if let Some(o) = e.owner {
+                    if !holders.contains(&o) {
+                        holders.push(o);
+                    }
+                }
+                for k in holders {
+                    // Recall: invalidate at the P-node; dirty/master data
+                    // travels back.
+                    if let Role::P(s) = &mut self.roles[k] {
+                        s.caches.invalidate(line);
+                        s.am.remove(line);
+                    }
+                    let t1 = self.net.send(d, k, ctrl, t);
+                    let t2 = self.net.send(k, d, data, t1 + self.cfg.lat.am_tag_check);
+                    t = t.max(t2);
+                    recalled += 1;
+                }
+                let e = self.dstore(d).entry_mut(line);
+                e.owner = None;
+                e.sharers.clear();
+                e.master = Master::Home;
+            }
+            let occ = self.cfg.pageout_page_occupancy;
+            let dn = self.dstore(d);
+            dn.note_recalled(recalled);
+            dn.apply_pageout(page);
+            t = dn.server.occupy(t, occ) + occ;
+        }
+        t
+    }
+
+    /// Write-back of a displaced dirty/shared-master line from P-node `p`
+    /// to its home D-node. Booked asynchronously from `at`.
+    fn write_back(&mut self, p: NodeId, line: Line, at: Cycle) {
+        self.stats.write_backs += 1;
+        let home = self
+            .pages
+            .home(self.page_of(line))
+            .expect("displaced line must be mapped");
+        let data = self.msg_data();
+        let t1 = self.net.send(p, home, data, at);
+        let g = self.dispatch(home, HandlerKind::WriteBack, 0, t1);
+        if !self.dstore_ref(home).entry(line).map_or(false, |e| e.in_mem) {
+            let t_slot = self.ensure_slot(home, line, g.start);
+            self.dstore(home).fill_slot(line);
+            self.dstore(home).data_access(line, t_slot);
+        } else {
+            self.dstore(home).data_access(line, g.start);
+        }
+        self.dstore(home).write_back(line, p);
+    }
+
+    /// Silent drop of a shared non-master copy + asynchronous hint.
+    fn drop_shared(&mut self, p: NodeId, line: Line, at: Cycle) {
+        let home = self
+            .pages
+            .home(self.page_of(line))
+            .expect("resident line must be mapped");
+        let t1 = self.net.send(p, home, self.msg_ctrl(), at);
+        let (_, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
+        self.dstore(home).server.occupy(t1, ao);
+        self.dstore(home).replacement_hint(line, p);
+    }
+
+    /// Inserts a line into P-node `p`'s attraction memory, handling the
+    /// displaced victim per the AGG protocol (write back to the home —
+    /// never inject).
+    fn am_fill(&mut self, p: NodeId, line: Line, state: AmState, at: Cycle) {
+        let r = self.pstore(p).am.insert(line, state, |s| match s {
+            AmState::Shared => 2,
+            AmState::SharedMaster => 1,
+            AmState::Dirty => 0,
+        });
+        let Some(victim) = r.victim else { return };
+        let vline = victim.line;
+        let cached = self.pstore(p).caches.invalidate(vline);
+        let vstate = match (victim.state, cached) {
+            (_, Some(CState::Dirty)) => AmState::Dirty,
+            (s, _) => s,
+        };
+        match vstate {
+            AmState::Shared => self.drop_shared(p, vline, at),
+            AmState::SharedMaster | AmState::Dirty => self.write_back(p, vline, at),
+        }
+    }
+
+    /// Invalidates the given P-nodes' copies; acks collected at
+    /// `collector`. Returns last ack arrival.
+    fn invalidate_p_copies(
+        &mut self,
+        targets: &[NodeId],
+        line: Line,
+        from: NodeId,
+        collector: NodeId,
+        at: Cycle,
+    ) -> Cycle {
+        let mut done = at;
+        let ctrl = self.msg_ctrl();
+        for &k in targets {
+            self.stats.invalidations += 1;
+            let t1 = self.net.send(from, k, ctrl, at);
+            if let Role::P(s) = &mut self.roles[k] {
+                s.caches.invalidate(line);
+                s.am.remove(line);
+            }
+            // The P-node's memory controller handles the invalidation
+            // without involving its processor.
+            let t2 = self
+                .net
+                .send(k, collector, ctrl, t1 + self.cfg.lat.am_tag_check);
+            done = done.max(t2);
+        }
+        done
+    }
+
+    /// Merges an L2 victim into the local AM.
+    fn merge_l2_victim(&mut self, p: NodeId, victim: Option<(Line, CState)>) {
+        let Some((line, state)) = victim else { return };
+        if state == CState::Dirty {
+            if let Some(s) = self.pstore(p).am.peek_mut(line) {
+                *s = AmState::Dirty;
+            }
+        }
+    }
+
+    fn fill_caches(&mut self, p: NodeId, line: Line, state: CState) {
+        let victim = self.pstore(p).caches.fill(line, state);
+        self.merge_l2_victim(p, victim);
+    }
+
+    /// Supplies a line from P-node `k`'s memory to `to`: the remote memory
+    /// controller reads the AM and replies without processor involvement.
+    fn supply_from_p(&mut self, k: NodeId, to: NodeId, line: Line, at: Cycle) -> Cycle {
+        let bytes = self.line_bytes();
+        let m = {
+            let ps = self.pstore(k);
+            let res = ps.am.touch(line).expect("supplier must hold the line");
+            ps.mem_access(res, at, bytes)
+        };
+        let data = self.msg_data();
+        self.net.send(k, to, data, m)
+    }
+
+    /// Generic computation-in-memory offload (Section 2.4): P-node `p`
+    /// sends a request of `request_bytes`; the D-node processor runs a
+    /// software handler for `occupancy` cycles (plus `mem_bytes` of Data
+    /// traffic on its memory port) and replies with `reply_bytes`.
+    /// Returns the cycle the reply reaches `p`.
+    pub fn offload(
+        &mut self,
+        p: NodeId,
+        d: NodeId,
+        request_bytes: u32,
+        occupancy: Cycle,
+        mem_bytes: u64,
+        reply_bytes: u32,
+        now: Cycle,
+    ) -> Cycle {
+        let t1 = self.net.send(p, d, request_bytes, now);
+        let start = self.dstore(d).server.occupy(t1, occupancy);
+        let t_mem = self.dstore(d).bulk_data_access(start, mem_bytes);
+        let done = (start + occupancy).max(t_mem);
+        self.net.send(d, p, reply_bytes, done)
+    }
+
+    /// Home D-node of an address (first-touch assigning if needed) —
+    /// exposed so computation-in-memory callers can route their requests.
+    pub fn home_for_addr(&mut self, addr: u64, toucher: NodeId) -> NodeId {
+        let line = line_of(addr, self.cfg.line_shift);
+        self.home_of(line, toucher)
+    }
+
+    /// Converts D-node `node` into a P-node (Section 2.3): its pages and
+    /// directory entries migrate to the remaining D-nodes; in-memory lines
+    /// travel over the network. Returns `(completion_cycle, pages_moved,
+    /// lines_moved)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a D-node or it is the last one.
+    pub fn convert_d_to_p(&mut self, node: NodeId, now: Cycle) -> (Cycle, u64, u64) {
+        assert!(self.d_list.contains(&node), "node {node} is not a D-node");
+        assert!(self.d_list.len() > 1, "cannot convert the last D-node");
+        let targets: Vec<NodeId> = self.d_list.iter().copied().filter(|&d| d != node).collect();
+        let pages = self.pages.pages_homed_at(node);
+        let lpp = self.dstore_ref(node).cfg().lines_per_page;
+        // Bulk migration: the node streams its warm resident lines to the
+        // new homes at link bandwidth; initialization-cold pages are sent
+        // to disk instead (the paper: "these pages can be mapped to
+        // another D-node or sent to disk"), off the critical path.
+        // The converting node streams over its four mesh links in
+        // parallel, without per-line message headers (bulk DMA).
+        let line_transfer =
+            (self.line_bytes()).div_ceil(self.cfg.net.bytes_per_cycle * 4);
+        let mut t = now;
+        let mut lines_moved = 0u64;
+        for (i, &page) in pages.iter().enumerate() {
+            let nh = targets[i % targets.len()];
+            let cold = self.dstore_ref(node).is_cold_page(page);
+            self.pages.reassign(page, nh);
+            self.dstore(node).unmap_page(page);
+            if cold {
+                // Hand the page to disk: the new home keeps directory
+                // entries marked paged-out; no data moves now.
+                self.dstore(nh).map_page(page);
+                self.dstore(nh).mark_page_cold(page);
+                let first = page * lpp;
+                for line in first..first + lpp {
+                    if let Some(mut e) = self.dstore(node).evict_entry(line) {
+                        e.in_mem = false;
+                        e.paged_out = true;
+                        e.master = Master::Home;
+                        self.dstore(nh).install_entry(line, e);
+                    }
+                }
+                continue;
+            }
+            self.dstore(nh).map_page(page);
+            let first = page * lpp;
+            for line in first..first + lpp {
+                let Some(e) = self.dstore(node).evict_entry(line) else {
+                    continue;
+                };
+                if e.in_mem {
+                    lines_moved += 1;
+                    t += line_transfer;
+                }
+                let mut entry = e;
+                while !self.dstore(nh).install_entry(line, entry) {
+                    t = self.page_out(nh, t);
+                    entry = e;
+                }
+            }
+        }
+        self.d_list.retain(|&d| d != node);
+        self.roles[node] = Role::P(Box::new(Self::new_pstore(&self.cfg)));
+        self.p_list.push(node);
+        self.p_list.sort_unstable();
+        (t, pages.len() as u64, lines_moved)
+    }
+
+    /// Converts P-node `node` into a D-node: the OS writes back its dirty
+    /// and shared-master lines to their homes, then reconfigures the
+    /// memory controller to plain-memory mode. Returns `(completion_cycle,
+    /// lines_flushed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a P-node.
+    pub fn convert_p_to_d(&mut self, node: NodeId, now: Cycle) -> (Cycle, u64) {
+        assert!(self.p_list.contains(&node), "node {node} is not a P-node");
+        let cached = self.pstore(node).caches.drain_all();
+        for (line, st) in cached {
+            if st == CState::Dirty {
+                if let Some(s) = self.pstore(node).am.peek_mut(line) {
+                    *s = AmState::Dirty;
+                }
+            }
+        }
+        let resident = self.pstore(node).am.drain_all();
+        let mut t = now;
+        let mut flushed = 0u64;
+        for (line, st) in resident {
+            match st {
+                AmState::Shared => self.drop_shared(node, line, t),
+                AmState::SharedMaster | AmState::Dirty => {
+                    flushed += 1;
+                    self.write_back(node, line, t);
+                    t += 2; // message issue pacing
+                }
+            }
+        }
+        self.p_list.retain(|&p| p != node);
+        self.roles[node] = Role::D(Box::new(DNode::new(self.cfg.dnode)));
+        self.d_list.push(node);
+        self.d_list.sort_unstable();
+        (t, flushed)
+    }
+
+    /// Drops an address from a P-node's private caches without touching
+    /// its attraction memory or the directory — a probe helper for
+    /// calibration and tests (equivalent to capacity-evicting the line
+    /// from the SRAM caches).
+    pub fn purge_caches(&mut self, p: NodeId, addr: u64) {
+        let line = line_of(addr, self.cfg.line_shift);
+        let dirty = self.pstore(p).caches.invalidate(line);
+        if dirty == Some(CState::Dirty) {
+            if let Some(s) = self.pstore(p).am.peek_mut(line) {
+                *s = AmState::Dirty;
+            }
+        }
+    }
+
+    /// Resident line count and capacity of a P-node's attraction memory
+    /// (diagnostics).
+    pub fn am_occupancy(&self, p: NodeId) -> (usize, u64) {
+        match &self.roles[p] {
+            Role::P(s) => (s.am.len(), s.am.cfg().capacity_lines()),
+            Role::D(_) => (0, 0),
+        }
+    }
+
+    /// Verifies D-node storage invariants (tests).
+    pub fn check_invariants(&self) {
+        for &d in &self.d_list {
+            self.dstore_ref(d).check_invariants();
+        }
+    }
+
+    /// Total page-out events across D-nodes.
+    pub fn total_page_outs(&self) -> u64 {
+        self.d_list
+            .iter()
+            .map(|&d| self.dstore_ref(d).stats().page_outs)
+            .sum()
+    }
+}
+
+impl MemSystem for AggSystem {
+    fn name(&self) -> &'static str {
+        "AGG"
+    }
+
+    fn read(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        if let Some(level) = self.pstore(node).caches.read_probe(line) {
+            let lat = match level {
+                Level::L1 => self.cfg.lat.l1,
+                _ => self.cfg.lat.l2,
+            };
+            self.stats.record_read(level, lat);
+            return Access {
+                done_at: now + lat,
+                level,
+            };
+        }
+
+        let t = now + self.cfg.lat.l2 + self.cfg.lat.am_tag_check;
+        if let Some(res) = self.pstore(node).am.touch(line) {
+            let bytes = self.line_bytes();
+            let m = self.pstore(node).mem_access(res, t, bytes);
+            let done = m + self.cfg.lat.fill;
+            self.fill_caches(node, line, CState::Shared);
+            self.stats.record_read(Level::LocalMem, done - now);
+            return Access {
+                done_at: done,
+                level: Level::LocalMem,
+            };
+        }
+
+        let home = self.home_of(line, node);
+        let ctrl = self.msg_ctrl();
+        let data = self.msg_data();
+        let t1 = self.net.send(node, home, ctrl, t);
+        let entry = self.dstore_ref(home).entry(line).copied();
+
+        let (data_at, level, new_state) = match entry {
+            Some(e) if e.paged_out => {
+                self.stats.disk_faults += 1;
+                let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+                let t_slot = self.ensure_slot(home, line, g.start + self.cfg.lat.disk);
+                let dn = self.dstore(home);
+                dn.fill_slot(line);
+                dn.apply_pagein(line);
+                dn.grant_master_read(line, node);
+                let arrive = self.net.send(home, node, data, t_slot);
+                (arrive, Level::Hop2, AmState::SharedMaster)
+            }
+            Some(e) if e.owner.is_some() => {
+                let k = e.owner.expect("checked");
+                debug_assert_ne!(k, node, "owner cannot miss in its own memory");
+                let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+                let fwd = self.net.send(home, k, ctrl, g.reply_at);
+                // Owner downgrades to shared-master; the home takes no copy.
+                self.pstore(k).caches.downgrade(line);
+                if let Some(s) = self.pstore(k).am.peek_mut(line) {
+                    *s = AmState::SharedMaster;
+                }
+                let arrive = self.supply_from_p(k, node, line, fwd);
+                self.dstore(home).dirty_to_shared(line, node);
+                (arrive, Level::Hop3, AmState::Shared)
+            }
+            Some(e) if !e.sharers.is_empty() => {
+                let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+                let pg = self.page_of(line);
+                self.dstore(home).touch_page(pg);
+                if e.in_mem {
+                    let state = if e.master == Master::Home {
+                        // Home holds the master: give mastership out again.
+                        self.dstore(home).grant_master_read(line, node);
+                        AmState::SharedMaster
+                    } else {
+                        self.dstore(home).add_sharer(line, node);
+                        AmState::Shared
+                    };
+                    let m = self.dstore(home).data_access(line, g.start);
+                    let arrive = self.net.send(home, node, data, m.max(g.reply_at));
+                    (arrive, Level::Hop2, state)
+                } else {
+                    // Home dropped its copy: 3-hop fetch from the master.
+                    let Master::Node(k) = e.master else {
+                        unreachable!("dropped home copy implies an outside master")
+                    };
+                    debug_assert_ne!(k, node);
+                    self.stats.master_fetches += 1;
+                    let fwd = self.net.send(home, k, ctrl, g.reply_at);
+                    let arrive = self.supply_from_p(k, node, line, fwd);
+                    self.dstore(home).add_sharer(line, node);
+                    (arrive, Level::Hop3, AmState::Shared)
+                }
+            }
+            Some(e) if e.in_mem => {
+                // D-node-only line (master at home): grant mastership out.
+                let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+                let pg = self.page_of(line);
+                self.dstore(home).touch_page(pg);
+                self.dstore(home).grant_master_read(line, node);
+                let m = self.dstore(home).data_access(line, g.start);
+                let arrive = self.net.send(home, node, data, m.max(g.reply_at));
+                (arrive, Level::Hop2, AmState::SharedMaster)
+            }
+            _ => {
+                // Virgin line: materialize at the home, grant mastership.
+                let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+                let t_slot = self.ensure_slot(home, line, g.start);
+                self.dstore(home).grant_first_read(line, node);
+                let m = self.dstore(home).data_access(line, t_slot);
+                let arrive = self.net.send(home, node, data, m.max(g.reply_at));
+                (arrive, Level::Hop2, AmState::SharedMaster)
+            }
+        };
+
+        let done = data_at + self.cfg.lat.fill;
+        self.am_fill(node, line, new_state, done);
+        self.fill_caches(node, line, CState::Shared);
+        self.stats.record_read(level, done - now);
+        Access {
+            done_at: done,
+            level,
+        }
+    }
+
+    fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        match self.pstore(node).caches.write_probe(line) {
+            WriteProbe::Done(level) => {
+                let lat = match level {
+                    Level::L1 => self.cfg.lat.l1,
+                    _ => self.cfg.lat.l2,
+                };
+                return Access {
+                    done_at: now + lat,
+                    level,
+                };
+            }
+            WriteProbe::NeedUpgrade | WriteProbe::Miss => {}
+        }
+
+        let t = now + self.cfg.lat.l2 + self.cfg.lat.am_tag_check;
+        let am_state = self.pstore(node).am.peek(line).copied();
+
+        if am_state == Some(AmState::Dirty) {
+            // Exclusive at the memory level already.
+            let bytes = self.line_bytes();
+            let m = {
+                let ps = self.pstore(node);
+                let res = ps.am.touch(line).expect("present");
+                ps.mem_access(res, t, bytes)
+            };
+            self.fill_caches(node, line, CState::Dirty);
+            return Access {
+                done_at: m + self.cfg.lat.fill,
+                level: Level::LocalMem,
+            };
+        }
+
+        let home = self.home_of(line, node);
+        let ctrl = self.msg_ctrl();
+        let data = self.msg_data();
+        self.stats.remote_writes += 1;
+        let t1 = self.net.send(node, home, ctrl, t);
+        let entry = self.dstore_ref(home).entry(line).copied();
+
+        // Handle a paged-out line first: bring the page back.
+        if let Some(e) = entry {
+            if e.paged_out {
+                self.stats.disk_faults += 1;
+                let g = self.dispatch(home, HandlerKind::ReadExclusive, 0, t1);
+                self.dstore(home).apply_pagein(line);
+                let targets = self.dstore(home).make_owner(line, node);
+                debug_assert!(targets.is_empty());
+                let arrive = self
+                    .net
+                    .send(home, node, data, g.reply_at + self.cfg.lat.disk);
+                let done = arrive + self.cfg.lat.fill;
+                self.am_fill(node, line, AmState::Dirty, done);
+                self.fill_caches(node, line, CState::Dirty);
+                return Access {
+                    done_at: done,
+                    level: Level::Hop2,
+                };
+            }
+        }
+
+        let had_local_copy = am_state.is_some();
+        let prev_owner = entry.and_then(|e| e.owner);
+        let home_had_copy = entry.map_or(false, |e| e.in_mem);
+
+        // Directory mutation: who must be invalidated.
+        let mut targets = self.dstore(home).make_owner(line, node);
+        let (xl, xo) = self
+            .cfg
+            .handler
+            .cost(HandlerKind::ReadExclusive, targets.len() as u32);
+        let g = self.dstore(home).server.dispatch(t1, xl, xo);
+
+        let (data_at, level) = if had_local_copy {
+            // Upgrade: data already local, just ownership + invalidations.
+            let acks = self.invalidate_p_copies(&targets, line, home, node, g.reply_at);
+            let grant = self.net.send(home, node, ctrl, g.reply_at);
+            if let Some(s) = self.pstore(node).am.peek_mut(line) {
+                *s = AmState::Dirty;
+            }
+            (acks.max(grant), Level::Hop2)
+        } else if let Some(k) = prev_owner {
+            debug_assert_ne!(k, node);
+            targets.retain(|&x| x != k);
+            let acks = self.invalidate_p_copies(&targets, line, home, node, g.reply_at);
+            let fwd = self.net.send(home, k, ctrl, g.reply_at);
+            let arrive = self.supply_from_p(k, node, line, fwd);
+            self.pstore(k).caches.invalidate(line);
+            self.pstore(k).am.remove(line);
+            self.stats.invalidations += 1;
+            (arrive.max(acks), Level::Hop3)
+        } else if home_had_copy {
+            let m = self.dstore(home).data_access(line, g.start);
+            let acks = self.invalidate_p_copies(&targets, line, home, node, g.reply_at);
+            let arrive = self.net.send(home, node, data, m.max(g.reply_at));
+            (arrive.max(acks), Level::Hop2)
+        } else if let Some(&k) = targets.first() {
+            // Home copy dropped: fetch from the master (first target holds
+            // it — the master is always a sharer).
+            let master = entry
+                .map(|e| match e.master {
+                    Master::Node(m) => m,
+                    Master::Home => k,
+                })
+                .unwrap_or(k);
+            let supplier = if targets.contains(&master) { master } else { k };
+            targets.retain(|&x| x != supplier);
+            let acks = self.invalidate_p_copies(&targets, line, home, node, g.reply_at);
+            let fwd = self.net.send(home, supplier, ctrl, g.reply_at);
+            let arrive = self.supply_from_p(supplier, node, line, fwd);
+            self.pstore(supplier).caches.invalidate(line);
+            self.pstore(supplier).am.remove(line);
+            self.stats.invalidations += 1;
+            self.stats.master_fetches += 1;
+            (arrive.max(acks), Level::Hop3)
+        } else {
+            // Virgin line: ownership granted, data materializes.
+            let arrive = self.net.send(home, node, data, g.reply_at);
+            (arrive, Level::Hop2)
+        };
+
+        let done = data_at + self.cfg.lat.fill;
+        if !had_local_copy {
+            self.am_fill(node, line, AmState::Dirty, done);
+        }
+        self.fill_caches(node, line, CState::Dirty);
+        Access {
+            done_at: done,
+            level,
+        }
+    }
+
+    fn line_shift(&self) -> u32 {
+        self.cfg.line_shift
+    }
+
+    fn compute_nodes(&self) -> Vec<NodeId> {
+        self.p_list.clone()
+    }
+
+    fn stats(&self) -> &ProtoStats {
+        &self.stats
+    }
+
+    fn census(&self) -> Census {
+        let mut c = Census::default();
+        for &d in &self.d_list {
+            let dn = self.dstore_ref(d);
+            c.d_slots += dn.cfg().data_lines;
+            for (_, e) in dn.entries() {
+                if e.paged_out {
+                    c.paged_out += 1;
+                } else if e.owner.is_some() {
+                    c.dirty_in_p += 1;
+                } else if !e.sharers.is_empty() {
+                    c.shared_in_p += 1;
+                    if e.in_mem {
+                        c.shared_with_home_copy += 1;
+                    }
+                } else if e.in_mem {
+                    c.d_node_only += 1;
+                }
+            }
+        }
+        c
+    }
+
+    fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    fn net_link_busy(&self) -> (Cycle, Cycle) {
+        (self.net.total_link_busy(), self.net.max_link_busy())
+    }
+
+    fn controller_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 || self.d_list.is_empty() {
+            return 0.0;
+        }
+        let busy: Cycle = self
+            .d_list
+            .iter()
+            .map(|&d| self.dstore_ref(d).server.busy_cycles())
+            .sum();
+        busy as f64 / (elapsed * self.d_list.len() as u64) as f64
+    }
+
+    fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind) {
+        let line = line_of(addr, self.cfg.line_shift);
+        let home = self.home_of(line, owner);
+        if self.dstore_ref(home).entry(line).is_some() {
+            return;
+        }
+        // Initialization data rests clean at its home D-node (it was
+        // written long ago and drained out of the P-node memories). When
+        // the Data arrays fill up, the threshold page-out of Section
+        // 2.2.2 has already pushed the least-recently-used — i.e. cold —
+        // pages to disk, which is exactly how the paper argues AGG runs
+        // at high memory pressures.
+        let _ = owner;
+        let page = self.page_of(line);
+        match self.dstore(home).alloc_slot(line) {
+            Ok(_) => {
+                let dn = self.dstore(home);
+                dn.entry_mut(line);
+                dn.fill_slot(line);
+                if kind == PreloadKind::ColdPrivate {
+                    dn.mark_page_cold(page);
+                }
+            }
+            Err(()) => {
+                let dn = self.dstore(home);
+                let e = dn.entry_mut(line);
+                e.paged_out = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(n_p: usize, n_d: usize, p_am_lines: u64, d_lines: u64) -> AggSystem {
+        AggSystem::new(AggCfg::paper(n_p, n_d, 8, 32, p_am_lines, d_lines))
+    }
+
+    #[test]
+    fn placement_interleaves_roles() {
+        let s = sys(4, 2, 256, 1024);
+        assert_eq!(s.p_nodes().len(), 4);
+        assert_eq!(s.d_nodes().len(), 2);
+        let mut all: Vec<NodeId> = s.p_nodes().to_vec();
+        all.extend_from_slice(s.d_nodes());
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn first_read_grants_mastership_to_reader() {
+        let mut s = sys(2, 1, 256, 1024);
+        let p = s.p_nodes()[0];
+        let a = s.read(p, 0x1000, 0);
+        assert_eq!(a.level, Level::Hop2);
+        let line = 0x1000 >> 6;
+        assert_eq!(s.pstore(p).am.peek(line), Some(&AmState::SharedMaster));
+        let d = s.d_nodes()[0];
+        let e = s.dstore_ref(d).entry(line).unwrap();
+        assert_eq!(e.master, Master::Node(p));
+        assert!(e.in_mem, "home keeps a reclaimable duplicate");
+        assert_eq!(s.dstore_ref(d).shared_list_len(), 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn second_read_hits_local_memory() {
+        let mut s = sys(2, 1, 256, 1024);
+        let p = s.p_nodes()[0];
+        s.read(p, 0x1000, 0);
+        let line = 0x1000 >> 6;
+        s.pstore(p).caches.invalidate(line);
+        let a = s.read(p, 0x1000, 10_000);
+        assert_eq!(a.level, Level::LocalMem);
+    }
+
+    #[test]
+    fn write_makes_dirty_and_frees_home_slot() {
+        let mut s = sys(2, 1, 256, 1024);
+        let (p0, p1) = (s.p_nodes()[0], s.p_nodes()[1]);
+        s.read(p0, 0x1000, 0);
+        s.read(p1, 0x1000, 1000);
+        let d = s.d_nodes()[0];
+        let free_before = s.dstore_ref(d).free_slots();
+        let a = s.write(p1, 0x1000, 10_000);
+        assert_eq!(a.level, Level::Hop2);
+        let line = 0x1000 >> 6;
+        let e = s.dstore_ref(d).entry(line).unwrap();
+        assert_eq!(e.owner, Some(p1));
+        assert!(!e.in_mem, "dirty lines keep no home place holder");
+        assert_eq!(s.dstore_ref(d).free_slots(), free_before + 1);
+        assert!(s.pstore(p0).am.peek(line).is_none(), "sharer invalidated");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn read_of_dirty_line_is_three_hops() {
+        let mut s = sys(3, 1, 256, 1024);
+        let (p0, p1) = (s.p_nodes()[0], s.p_nodes()[1]);
+        s.write(p0, 0x1000, 0);
+        let a = s.read(p1, 0x1000, 10_000);
+        assert_eq!(a.level, Level::Hop3);
+        let line = 0x1000 >> 6;
+        assert_eq!(s.pstore(p0).am.peek(line), Some(&AmState::SharedMaster));
+        s.check_invariants();
+    }
+
+    #[test]
+    fn displaced_master_writes_back_home_no_injection() {
+        // P AM: 1 set × 1 way → every new line displaces the previous.
+        let mut cfg = AggCfg::paper(2, 1, 8, 32, 4, 1024);
+        cfg.p_am = CacheCfg::new(64, 1, 6);
+        cfg.l1 = CacheCfg::new(64, 1, 6);
+        cfg.l2 = CacheCfg::new(64, 1, 6);
+        let mut s = AggSystem::new(cfg);
+        let p = s.p_nodes()[0];
+        s.write(p, 0, 0); // dirty master of line 0
+        s.write(p, 64, 10_000); // displaces line 0 → write back home
+        assert_eq!(s.stats().write_backs, 1);
+        assert_eq!(s.stats().injections, 0);
+        let d = s.d_nodes()[0];
+        let e = s.dstore_ref(d).entry(0).unwrap();
+        assert_eq!(e.owner, None);
+        assert_eq!(e.master, Master::Home);
+        assert!(e.in_mem);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn home_copy_reclaim_causes_three_hop_reads() {
+        // D-node with 2 Data lines; reads of 3 lines force a SharedList
+        // reclaim; re-reading the dropped line from another P-node must go
+        // through the master (3 hops).
+        let mut cfg = AggCfg::paper(2, 1, 8, 32, 4096, 2);
+        cfg.dnode.shared_list_min = 0;
+        let mut s = AggSystem::new(cfg);
+        let (p0, p1) = (s.p_nodes()[0], s.p_nodes()[1]);
+        s.read(p0, 0, 0);
+        s.read(p0, 64, 1000);
+        s.read(p0, 128, 2000); // reclaims home copy of line 0
+        let d = s.d_nodes()[0];
+        assert!(!s.dstore_ref(d).entry(0).unwrap().in_mem);
+        let a = s.read(p1, 0, 10_000);
+        assert_eq!(a.level, Level::Hop3);
+        assert!(s.stats().master_fetches >= 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn pageout_when_nothing_reclaimable() {
+        // 4 Data lines, high threshold, 1 line per page for simplicity.
+        let mut cfg = AggCfg::paper(2, 1, 8, 32, 4096, 4);
+        cfg.dnode.shared_list_min = 8;
+        cfg.dnode.reuse_shared_list = false;
+        cfg.dnode.pageout_batch = 2;
+        cfg.dnode.lines_per_page = 64; // 4 KiB pages of 64-line
+        let mut s = AggSystem::new(cfg);
+        let p = s.p_nodes()[0];
+        // Touch lines in distinct pages to map several pages.
+        for i in 0..6u64 {
+            s.read(p, i * 4096, i * 100_000);
+        }
+        assert!(s.total_page_outs() >= 1, "page-out must have triggered");
+        assert!(s.stats().page_outs >= 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn disk_fault_on_paged_out_line() {
+        let mut cfg = AggCfg::paper(2, 1, 8, 32, 4096, 4);
+        cfg.dnode.shared_list_min = 8;
+        cfg.dnode.reuse_shared_list = false;
+        cfg.dnode.pageout_batch = 2;
+        let mut s = AggSystem::new(cfg);
+        let p = s.p_nodes()[0];
+        for i in 0..6u64 {
+            s.read(p, i * 4096, i * 100_000);
+        }
+        // Find a paged-out line and read it again.
+        let d = s.d_nodes()[0];
+        let paged: Vec<Line> = s
+            .dstore_ref(d)
+            .entries()
+            .filter(|(_, e)| e.paged_out)
+            .map(|(l, _)| l)
+            .collect();
+        assert!(!paged.is_empty());
+        let addr = paged[0] << 6;
+        let before = s.stats().disk_faults;
+        let a = s.read(s.p_nodes()[1], addr, 10_000_000);
+        assert_eq!(s.stats().disk_faults, before + 1);
+        assert!(a.done_at - 10_000_000 >= s.cfg.lat.disk);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn convert_p_to_d_flushes_and_switches_role() {
+        let mut s = sys(3, 1, 256, 4096);
+        let p = s.p_nodes()[2];
+        s.write(p, 0x5000, 0);
+        let (done, flushed) = s.convert_p_to_d(p, 100_000);
+        assert!(done >= 100_000);
+        assert_eq!(flushed, 1);
+        assert_eq!(s.p_nodes().len(), 2);
+        assert_eq!(s.d_nodes().len(), 2);
+        assert!(s.d_nodes().contains(&p));
+        // The dirty line went home.
+        let home = s.pages.home(0x5000 >> 12).unwrap();
+        let e = s.dstore_ref(home).entry(0x5000 >> 6).unwrap();
+        assert_eq!(e.owner, None);
+        assert!(e.in_mem);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn convert_d_to_p_migrates_pages() {
+        let mut s = sys(2, 2, 256, 4096);
+        let p = s.p_nodes()[0];
+        // Touch pages; some land on each D-node.
+        for i in 0..8u64 {
+            s.read(p, i * 4096, i * 10_000);
+        }
+        let victim_d = s.d_nodes()[0];
+        let keep_d = s.d_nodes()[1];
+        let before = s.pages.pages_at(keep_d);
+        let (done, pages_moved, _lines) = s.convert_d_to_p(victim_d, 1_000_000);
+        assert!(done >= 1_000_000);
+        assert_eq!(s.d_nodes(), &[keep_d]);
+        assert!(s.p_nodes().contains(&victim_d));
+        assert_eq!(s.pages.pages_at(keep_d), before + pages_moved);
+        assert_eq!(s.pages.pages_at(victim_d), 0);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn offload_books_dnode_and_replies() {
+        let mut s = sys(2, 1, 256, 4096);
+        let p = s.p_nodes()[0];
+        let d = s.d_nodes()[0];
+        let t0 = s.offload(p, d, 16, 10_000, 64 * 1024, 256, 0);
+        assert!(t0 >= 10_000);
+        // A second offload queues behind the first on the D server.
+        let t1 = s.offload(p, d, 16, 10_000, 64 * 1024, 256, 0);
+        assert!(t1 > t0);
+    }
+
+    #[test]
+    fn census_matches_protocol_state() {
+        let mut s = sys(3, 1, 4096, 4096);
+        let (p0, p1) = (s.p_nodes()[0], s.p_nodes()[1]);
+        s.read(p0, 0, 0); // shared (master at p0, home copy on SharedList)
+        s.write(p1, 0x1000, 0); // dirty in P
+        s.write(p0, 0x2000, 0);
+        // Write line 0x2000 back home by displacement? Simpler: convert
+        // nothing; count what we have.
+        let c = s.census();
+        assert_eq!(c.dirty_in_p, 2);
+        assert_eq!(c.shared_in_p, 1);
+        assert_eq!(c.shared_with_home_copy, 1);
+        assert_eq!(c.d_node_only, 0);
+    }
+}

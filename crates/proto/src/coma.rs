@@ -1,0 +1,965 @@
+//! Flat COMA baseline.
+//!
+//! Every node's local memory is an attraction memory; data migrates and
+//! replicates freely. A line's *home* holds only the directory entry (flat
+//! COMA), not necessarily the data — so a read of a shared line whose home
+//! displaced its copy takes three hops via the master. There is no backing
+//! store: replacement prefers invalid, then shared non-master lines; if a
+//! master (or dirty) line must be replaced it is *injected* into another
+//! node's memory, following Joe & Hennessy by trying the provider of the
+//! incoming line first. Injections that no memory will absorb within a
+//! bounded number of tries spill to disk (counted; essentially never
+//! happens below 100% memory pressure).
+
+use std::collections::HashMap;
+
+use pimdsm_engine::{Cycle, Server};
+use pimdsm_mem::{line_of, CacheCfg, Line, PageTable};
+use pimdsm_net::{Mesh, NetCfg, NetStats, Network};
+
+use crate::common::{
+    Access, AmState, Census, ControllerKind, CState, HandlerCosts, HandlerKind, LatencyCfg, Level,
+    MsgSize, NodeId, NodeSet, PreloadKind, ProtoStats,
+};
+use crate::pnode::{PNodeStore, WriteProbe};
+use crate::system::{data_bytes, MemSystem};
+
+/// Configuration of a [`ComaSystem`].
+#[derive(Debug, Clone)]
+pub struct ComaCfg {
+    /// Number of nodes (each runs one application thread).
+    pub nodes: usize,
+    /// L1 geometry.
+    pub l1: CacheCfg,
+    /// L2 geometry.
+    pub l2: CacheCfg,
+    /// Attraction-memory geometry per node (4-way in the paper).
+    pub am: CacheCfg,
+    /// Lines of the attraction memory resident on chip.
+    pub onchip_lines: u64,
+    /// Line size shift.
+    pub line_shift: u32,
+    /// Page size shift.
+    pub page_shift: u32,
+    /// Latency table.
+    pub lat: LatencyCfg,
+    /// Message sizes.
+    pub msg: MsgSize,
+    /// Network timing (double-width links, as for NUMA).
+    pub net: NetCfg,
+    /// Directory controller costs (hardware).
+    pub handler: HandlerCosts,
+    /// Memory port bandwidth, bytes/cycle.
+    pub mem_bytes_per_cycle: u64,
+    /// Injection attempts before spilling to disk.
+    pub injection_max_tries: usize,
+}
+
+impl ComaCfg {
+    /// A paper-parameter configuration with the given per-node attraction
+    /// memory capacity in lines.
+    pub fn paper(nodes: usize, l1_kb: u64, l2_kb: u64, am_lines: u64) -> Self {
+        let line_shift = 6;
+        ComaCfg {
+            nodes,
+            l1: CacheCfg::new(l1_kb * 1024, 1, line_shift),
+            l2: CacheCfg::new(l2_kb * 1024, 4, line_shift),
+            am: CacheCfg::new(am_lines * 64, 4, line_shift),
+            onchip_lines: am_lines / 2,
+            line_shift,
+            page_shift: 12,
+            lat: LatencyCfg::default(),
+            msg: MsgSize::default(),
+            net: NetCfg {
+                bytes_per_cycle: 4,
+                ..NetCfg::default()
+            },
+            handler: HandlerCosts::paper(ControllerKind::Hardware),
+            mem_bytes_per_cycle: 32,
+            injection_max_tries: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    sharers: NodeSet,
+    owner: Option<NodeId>,
+    master: Option<NodeId>,
+    on_disk: bool,
+}
+
+#[derive(Debug)]
+struct ComaNode {
+    store: PNodeStore,
+    ctrl: Server,
+}
+
+/// COMA replacement priority: invalid ways are free, then shared
+/// non-master lines, then master, then dirty (Section 3).
+fn victim_class(s: &AmState) -> u32 {
+    match s {
+        AmState::Shared => 2,
+        AmState::SharedMaster => 1,
+        AmState::Dirty => 0,
+    }
+}
+
+/// The flat-COMA machine.
+#[derive(Debug)]
+pub struct ComaSystem {
+    cfg: ComaCfg,
+    nodes: Vec<ComaNode>,
+    dir: HashMap<Line, DirEntry>,
+    pages: PageTable,
+    net: Network,
+    stats: ProtoStats,
+}
+
+impl ComaSystem {
+    /// Builds an idle COMA machine.
+    pub fn new(cfg: ComaCfg) -> Self {
+        assert!(cfg.nodes > 0 && cfg.nodes <= NodeSet::MAX_NODES);
+        // Calibrate device latencies so the end-to-end local round trip
+        // (L2 probe + AM tag check + device + fill) lands on Table 1.
+        let overhead = cfg.lat.l2 + cfg.lat.am_tag_check + cfg.lat.fill;
+        let nodes = (0..cfg.nodes)
+            .map(|_| ComaNode {
+                store: PNodeStore::new(
+                    cfg.l1,
+                    cfg.l2,
+                    cfg.am,
+                    cfg.onchip_lines as usize,
+                    cfg.lat.mem_on.saturating_sub(overhead),
+                    cfg.lat.mem_off.saturating_sub(overhead),
+                    cfg.mem_bytes_per_cycle,
+                ),
+                ctrl: Server::new(),
+            })
+            .collect();
+        let net = Network::new(Mesh::for_nodes(cfg.nodes), cfg.net);
+        ComaSystem {
+            pages: PageTable::new(cfg.page_shift),
+            dir: HashMap::new(),
+            nodes,
+            net,
+            stats: ProtoStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &ComaCfg {
+        &self.cfg
+    }
+
+    /// Total injections performed so far (exposed for tests/benches).
+    pub fn injections(&self) -> u64 {
+        self.stats.injections
+    }
+
+    fn line_bytes(&self) -> u64 {
+        1 << self.cfg.line_shift
+    }
+
+    fn msg_ctrl(&self) -> u32 {
+        self.cfg.msg.ctrl
+    }
+
+    fn msg_data(&self) -> u32 {
+        data_bytes(self.cfg.msg.data_header, self.cfg.line_shift)
+    }
+
+    /// Home (directory) of a line: first-touch, with the physical frame —
+    /// and hence the directory entry — spilling to the least-loaded node
+    /// once the toucher's share of frames is exhausted.
+    fn home_of(&mut self, line: Line, toucher: NodeId) -> NodeId {
+        let page = line >> (self.cfg.page_shift - self.cfg.line_shift);
+        if let Some(h) = self.pages.home(page) {
+            return h;
+        }
+        let lines_per_page = 1u64 << (self.cfg.page_shift - self.cfg.line_shift);
+        let cap = self.cfg.am.capacity_lines() / lines_per_page;
+        let home = if self.pages.pages_at(toucher) < cap {
+            toucher
+        } else {
+            (0..self.cfg.nodes)
+                .min_by_key(|&n| (self.pages.pages_at(n), n))
+                .expect("at least one node")
+        };
+        self.pages.home_or_assign(page, || home)
+    }
+
+    fn dispatch(&mut self, node: NodeId, kind: HandlerKind, invals: u32, at: Cycle) -> Cycle {
+        let (l, o) = self.cfg.handler.cost(kind, invals);
+        self.nodes[node].ctrl.dispatch(at, l, o).reply_at
+    }
+
+    /// Local memory (AM data) access for a line already resident at
+    /// `node`.
+    fn mem_access(&mut self, node: NodeId, line: Line, at: Cycle) -> Cycle {
+        let res = self.nodes[node]
+            .store
+            .am
+            .touch(line)
+            .expect("line must be resident for mem_access");
+        let bytes = self.line_bytes();
+        self.nodes[node].store.mem_access(res, at, bytes)
+    }
+
+    /// Invalidates every node in `targets` (caches and AM), acks to
+    /// `collector`. Returns last ack arrival.
+    fn invalidate_all(
+        &mut self,
+        targets: &[NodeId],
+        line: Line,
+        from: NodeId,
+        collector: NodeId,
+        at: Cycle,
+    ) -> Cycle {
+        let mut done = at;
+        let ctrl = self.msg_ctrl();
+        let (al, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
+        for &k in targets {
+            self.stats.invalidations += 1;
+            let t1 = self.net.send(from, k, ctrl, at);
+            self.nodes[k].store.caches.invalidate(line);
+            self.nodes[k].store.am.remove(line);
+            let start = self.nodes[k].ctrl.occupy(t1, ao);
+            let t2 = self.net.send(k, collector, ctrl, start + al);
+            done = done.max(t2);
+        }
+        done
+    }
+
+    /// Inserts `line` into `node`'s attraction memory, handling the victim
+    /// (silent drop with hint, or injection). `provider` is the node that
+    /// supplied the incoming line (Joe & Hennessy's first injection
+    /// target). Timing effects of the victim path are booked at `now` but
+    /// do not extend the requesting transaction.
+    fn am_fill(&mut self, node: NodeId, line: Line, state: AmState, provider: NodeId, now: Cycle) {
+        let r = self.nodes[node].store.am.insert(line, state, victim_class);
+        let Some(victim) = r.victim else { return };
+        let vline = victim.line;
+        // Inclusion: purge the victim from the private caches; a dirty
+        // cached copy upgrades the victim state.
+        let cached = self.nodes[node].store.caches.invalidate(vline);
+        let vstate = match (victim.state, cached) {
+            (_, Some(CState::Dirty)) => AmState::Dirty,
+            (s, _) => s,
+        };
+        match vstate {
+            AmState::Shared => self.drop_shared(node, vline, now),
+            AmState::SharedMaster | AmState::Dirty => {
+                self.inject(node, vline, vstate, provider, now)
+            }
+        }
+    }
+
+    /// Silent replacement of a shared non-master copy: drop locally, send
+    /// an asynchronous hint so the directory stops tracking us.
+    fn drop_shared(&mut self, node: NodeId, line: Line, now: Cycle) {
+        let home = self
+            .pages
+            .home(line >> (self.cfg.page_shift - self.cfg.line_shift))
+            .expect("resident line must be mapped");
+        if let Some(e) = self.dir.get_mut(&line) {
+            e.sharers.remove(node);
+        }
+        if home != node {
+            let ctrl = self.msg_ctrl();
+            let t = self.net.send(node, home, ctrl, now);
+            let (_, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
+            self.nodes[home].ctrl.occupy(t, ao);
+        }
+    }
+
+    /// Injects a replaced master/dirty line into another memory: try the
+    /// provider, then the line's home, then nodes by distance. If nobody
+    /// absorbs it without evicting another master, spill to disk.
+    fn inject(&mut self, node: NodeId, line: Line, state: AmState, provider: NodeId, now: Cycle) {
+        let home = self
+            .pages
+            .home(line >> (self.cfg.page_shift - self.cfg.line_shift))
+            .expect("resident line must be mapped");
+
+        let mut candidates: Vec<NodeId> = Vec::with_capacity(self.cfg.nodes + 1);
+        for c in [provider, home] {
+            if c != node && !candidates.contains(&c) {
+                candidates.push(c);
+            }
+        }
+        let mut others: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&c| c != node && !candidates.contains(&c))
+            .collect();
+        others.sort_by_key(|&c| (self.net.hops(node, c), c));
+        candidates.extend(others);
+
+        let data = self.msg_data();
+        if candidates.is_empty() {
+            // Single-node machine: nowhere to inject, spill to disk.
+            self.stats.disk_spills += 1;
+            let e = self.dir.entry(line).or_default();
+            e.sharers.remove(node);
+            e.owner = None;
+            e.master = None;
+            e.on_disk = true;
+            return;
+        }
+        // Find the nearest memory that can absorb the line without
+        // displacing another master; only if no memory in the machine can
+        // (true global set saturation) is the nearest one forced to
+        // displace. Failed probes cost bounce messages (Joe & Hennessy's
+        // injection chains), capped at the configured budget.
+        // Prefer a memory with a genuinely free way; displacing another
+        // node's attracted shared copy is second choice (it re-fetches
+        // later — the memory pollution the paper attributes to COMA).
+        let free_way = candidates
+            .iter()
+            .position(|&c| self.nodes[c].store.am.peek_victim(line, victim_class).is_none());
+        let shared_victim = || {
+            candidates.iter().position(|&c| {
+                matches!(
+                    self.nodes[c].store.am.peek_victim(line, victim_class),
+                    Some((_, AmState::Shared))
+                )
+            })
+        };
+        let chosen = free_way.or_else(shared_victim).unwrap_or(0);
+        {
+            let c = candidates[chosen];
+            let bounces = chosen.min(self.cfg.injection_max_tries);
+            let mut t_chain = now;
+            let mut prev = node;
+            for &hop in candidates.iter().take(bounces) {
+                t_chain = self.net.send(prev, hop, data, t_chain);
+                prev = hop;
+            }
+            self.stats.injections += 1;
+            let t = self.net.send(prev, c, data, t_chain);
+            let (wl, wo) = self.cfg.handler.cost(HandlerKind::WriteBack, 0);
+            let g = self.nodes[c].ctrl.dispatch(t, wl, wo);
+            let r = self.nodes[c].store.am.insert(line, state, victim_class);
+            if let Some(sv) = r.victim {
+                self.nodes[c].store.caches.invalidate(sv.line);
+                match sv.state {
+                    AmState::Shared => self.drop_shared(c, sv.line, g.reply_at),
+                    // Forced displacement: the secondary master victim
+                    // spills to disk (bounded: only when no memory in the
+                    // machine had room).
+                    _ => {
+                        self.stats.disk_spills += 1;
+                        let vline = sv.line;
+                        let ve = self.dir.entry(vline).or_default();
+                        ve.sharers.clear();
+                        ve.owner = None;
+                        ve.master = None;
+                        ve.on_disk = true;
+                    }
+                }
+            }
+            self.mem_access(c, line, g.start);
+            let e = self.dir.entry(line).or_default();
+            match state {
+                AmState::Dirty => {
+                    e.owner = Some(c);
+                    e.master = Some(c);
+                    e.sharers = NodeSet::singleton(c);
+                }
+                _ => {
+                    e.sharers.remove(node);
+                    e.sharers.insert(c);
+                    e.master = Some(c);
+                }
+            }
+        }
+    }
+
+    /// Merges an L2 victim back into the local AM (inclusion guarantees
+    /// residency).
+    fn merge_l2_victim(&mut self, node: NodeId, victim: Option<(Line, CState)>) {
+        let Some((line, state)) = victim else { return };
+        if state == CState::Dirty {
+            if let Some(s) = self.nodes[node].store.am.peek_mut(line) {
+                *s = AmState::Dirty;
+            }
+            let e = self.dir.entry(line).or_default();
+            e.owner = Some(node);
+            e.master = Some(node);
+        }
+    }
+
+    fn fill_caches(&mut self, node: NodeId, line: Line, state: CState) {
+        let victim = self.nodes[node].store.caches.fill(line, state);
+        self.merge_l2_victim(node, victim);
+    }
+}
+
+impl MemSystem for ComaSystem {
+    fn name(&self) -> &'static str {
+        "COMA"
+    }
+
+    fn read(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        if let Some(level) = self.nodes[node].store.caches.read_probe(line) {
+            let lat = match level {
+                Level::L1 => self.cfg.lat.l1,
+                _ => self.cfg.lat.l2,
+            };
+            self.stats.record_read(level, lat);
+            return Access {
+                done_at: now + lat,
+                level,
+            };
+        }
+
+        let t = now + self.cfg.lat.l2 + self.cfg.lat.am_tag_check;
+        // Attraction-memory hit: the whole point of the organization.
+        if let Some(res) = self.nodes[node].store.am.touch(line) {
+            let bytes = self.line_bytes();
+            let m = self.nodes[node].store.mem_access(res, t, bytes);
+            let done = m + self.cfg.lat.fill;
+            self.fill_caches(node, line, CState::Shared);
+            self.stats.record_read(Level::LocalMem, done - now);
+            return Access {
+                done_at: done,
+                level: Level::LocalMem,
+            };
+        }
+
+        let home = self.home_of(line, node);
+        let e = self.dir.get(&line).copied().unwrap_or_default();
+        let ctrl = self.msg_ctrl();
+        let data = self.msg_data();
+
+        let (data_at, provider, level, new_state) = if e.on_disk {
+            self.stats.disk_faults += 1;
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+            let t2 = self
+                .net
+                .send(home, node, data, g + self.cfg.lat.disk);
+            let de = self.dir.entry(line).or_default();
+            de.on_disk = false;
+            de.master = Some(node);
+            de.sharers = NodeSet::singleton(node);
+            let lvl = if home == node { Level::LocalMem } else { Level::Hop2 };
+            (t2, home, lvl, AmState::SharedMaster)
+        } else if let Some(k) = e.owner {
+            debug_assert_ne!(k, node, "owner cannot miss in its own memory");
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+            let (arrive, lvl) = if k == home {
+                let m = self.mem_access(home, line, g);
+                (self.net.send(home, node, data, m), Level::Hop2)
+            } else {
+                let t2 = self.net.send(home, k, ctrl, g);
+                let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
+                let m = self.mem_access(k, line, g2);
+                let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                (self.net.send(k, node, data, m), lvl)
+            };
+            // Owner keeps the master copy, now shared.
+            self.nodes[k].store.caches.downgrade(line);
+            if let Some(s) = self.nodes[k].store.am.peek_mut(line) {
+                *s = AmState::SharedMaster;
+            }
+            let de = self.dir.entry(line).or_default();
+            de.owner = None;
+            de.master = Some(k);
+            de.sharers = NodeSet::singleton(k);
+            de.sharers.insert(node);
+            (arrive, k, lvl, AmState::Shared)
+        } else if !e.sharers.is_empty() {
+            let m_node = e.master.expect("shared lines must have a master");
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+            let home_has_copy = home != node && self.nodes[home].store.am.contains(line);
+            let (arrive, supplier, lvl) = if home_has_copy {
+                let m = self.mem_access(home, line, g);
+                (self.net.send(home, node, data, m), home, Level::Hop2)
+            } else {
+                debug_assert_ne!(m_node, node);
+                let (t2, lvl) = if m_node == home {
+                    (g, Level::Hop2)
+                } else {
+                    self.stats.master_fetches += 1;
+                    let fwd = self.net.send(home, m_node, ctrl, g);
+                    let g2 = self.dispatch(m_node, HandlerKind::Read, 0, fwd);
+                    let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                    (g2, lvl)
+                };
+                let m = self.mem_access(m_node, line, t2);
+                (self.net.send(m_node, node, data, m), m_node, lvl)
+            };
+            self.dir.entry(line).or_default().sharers.insert(node);
+            (arrive, supplier, lvl, AmState::Shared)
+        } else {
+            // First touch: the line materializes (cold/zero data).
+            let de = self.dir.entry(line).or_default();
+            de.master = Some(node);
+            de.sharers = NodeSet::singleton(node);
+            if home == node {
+                let g = self.dispatch(node, HandlerKind::Read, 0, t);
+                (g, node, Level::LocalMem, AmState::SharedMaster)
+            } else {
+                let t1 = self.net.send(node, home, ctrl, t);
+                let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+                let t2 = self.net.send(home, node, data, g);
+                (t2, home, Level::Hop2, AmState::SharedMaster)
+            }
+        };
+
+        let done = data_at + self.cfg.lat.fill;
+        self.am_fill(node, line, new_state, provider, done);
+        self.fill_caches(node, line, CState::Shared);
+        self.stats.record_read(level, done - now);
+        Access {
+            done_at: done,
+            level,
+        }
+    }
+
+    fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        match self.nodes[node].store.caches.write_probe(line) {
+            WriteProbe::Done(level) => {
+                let lat = match level {
+                    Level::L1 => self.cfg.lat.l1,
+                    _ => self.cfg.lat.l2,
+                };
+                return Access {
+                    done_at: now + lat,
+                    level,
+                };
+            }
+            WriteProbe::NeedUpgrade => {
+                let t = now + self.cfg.lat.l2;
+                let am_state = self.nodes[node]
+                    .store
+                    .am
+                    .peek(line)
+                    .copied()
+                    .expect("cached line must be in the AM (inclusion)");
+                if am_state == AmState::Dirty {
+                    // Already exclusive at the memory level.
+                    self.nodes[node].store.caches.mark_dirty(line);
+                    return Access {
+                        done_at: t + self.cfg.lat.am_tag_check,
+                        level: Level::L2,
+                    };
+                }
+                let home = self.home_of(line, node);
+                let e = self.dir.entry(line).or_default();
+                let targets: Vec<NodeId> =
+                    e.sharers.iter().filter(|&s| s != node).collect();
+                e.sharers = NodeSet::singleton(node);
+                e.owner = Some(node);
+                e.master = Some(node);
+                let (xl, xo) = self
+                    .cfg
+                    .handler
+                    .cost(HandlerKind::ReadExclusive, targets.len() as u32);
+                let ctrl = self.msg_ctrl();
+                let (done, level) = if home == node {
+                    let g = self.nodes[node].ctrl.dispatch(t, xl, xo);
+                    let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
+                    (acks.max(g.reply_at), Level::LocalMem)
+                } else {
+                    self.stats.remote_writes += 1;
+                    let t1 = self.net.send(node, home, ctrl, t);
+                    let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
+                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                    let grant = self.net.send(home, node, ctrl, g.reply_at);
+                    (acks.max(grant), Level::Hop2)
+                };
+                if let Some(s) = self.nodes[node].store.am.peek_mut(line) {
+                    *s = AmState::Dirty;
+                }
+                self.nodes[node].store.caches.mark_dirty(line);
+                return Access {
+                    done_at: done + self.cfg.lat.fill,
+                    level,
+                };
+            }
+            WriteProbe::Miss => {}
+        }
+
+        let t = now + self.cfg.lat.l2 + self.cfg.lat.am_tag_check;
+        // AM hit on a write miss in the caches.
+        if let Some(&st) = self.nodes[node].store.am.peek(line) {
+            let res = self.nodes[node].store.am.touch(line).expect("present");
+            let bytes = self.line_bytes();
+            let m = self.nodes[node].store.mem_access(res, t, bytes);
+            if st == AmState::Dirty {
+                self.fill_caches(node, line, CState::Dirty);
+                return Access {
+                    done_at: m + self.cfg.lat.fill,
+                    level: Level::LocalMem,
+                };
+            }
+            // Shared in our memory: upgrade through the home.
+            let home = self.home_of(line, node);
+            let e = self.dir.entry(line).or_default();
+            let targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
+            e.sharers = NodeSet::singleton(node);
+            e.owner = Some(node);
+            e.master = Some(node);
+            let (xl, xo) = self
+                .cfg
+                .handler
+                .cost(HandlerKind::ReadExclusive, targets.len() as u32);
+            let ctrl = self.msg_ctrl();
+            let (done, level) = if home == node {
+                let g = self.nodes[node].ctrl.dispatch(t, xl, xo);
+                let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
+                (acks.max(m), Level::LocalMem)
+            } else {
+                self.stats.remote_writes += 1;
+                let t1 = self.net.send(node, home, ctrl, t);
+                let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
+                let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                let grant = self.net.send(home, node, ctrl, g.reply_at);
+                (acks.max(grant).max(m), Level::Hop2)
+            };
+            if let Some(s) = self.nodes[node].store.am.peek_mut(line) {
+                *s = AmState::Dirty;
+            }
+            self.fill_caches(node, line, CState::Dirty);
+            return Access {
+                done_at: done + self.cfg.lat.fill,
+                level,
+            };
+        }
+
+        // Full read-exclusive: fetch data and invalidate everyone.
+        let home = self.home_of(line, node);
+        let e = self.dir.get(&line).copied().unwrap_or_default();
+        let ctrl = self.msg_ctrl();
+        let data = self.msg_data();
+        let mut targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
+        let (xl, xo) = self
+            .cfg
+            .handler
+            .cost(HandlerKind::ReadExclusive, targets.len() as u32);
+
+        let (data_at, provider, level) = if e.on_disk {
+            self.stats.disk_faults += 1;
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.dispatch(home, HandlerKind::ReadExclusive, 0, t1);
+            let t2 = self.net.send(home, node, data, g + self.cfg.lat.disk);
+            self.dir.entry(line).or_default().on_disk = false;
+            let lvl = if home == node { Level::LocalMem } else { Level::Hop2 };
+            (t2, home, lvl)
+        } else if let Some(k) = e.owner {
+            debug_assert_ne!(k, node);
+            targets.retain(|&x| x != k); // the owner supplies and self-invalidates
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.nodes[home].ctrl.dispatch(t1, xl, xo).reply_at;
+            let (arrive, lvl) = if k == home {
+                let m = self.mem_access(home, line, g);
+                (self.net.send(home, node, data, m), Level::Hop2)
+            } else {
+                let t2 = self.net.send(home, k, ctrl, g);
+                let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
+                let m = self.mem_access(k, line, g2);
+                let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                (self.net.send(k, node, data, m), lvl)
+            };
+            self.nodes[k].store.caches.invalidate(line);
+            self.nodes[k].store.am.remove(line);
+            self.stats.invalidations += 1;
+            (arrive, k, lvl)
+        } else if !e.sharers.is_empty() {
+            let m_node = e.master.expect("shared lines must have a master");
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.nodes[home].ctrl.dispatch(t1, xl, xo).reply_at;
+            let home_has_copy = home != node && self.nodes[home].store.am.contains(line);
+            let (arrive, supplier, lvl) = if home_has_copy {
+                let m = self.mem_access(home, line, g);
+                (self.net.send(home, node, data, m), home, Level::Hop2)
+            } else if m_node == node {
+                unreachable!("master cannot miss in its own memory");
+            } else {
+                let (t2, lvl) = if m_node == home {
+                    (g, Level::Hop2)
+                } else {
+                    let fwd = self.net.send(home, m_node, ctrl, g);
+                    let g2 = self.dispatch(m_node, HandlerKind::Read, 0, fwd);
+                    let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                    (g2, lvl)
+                };
+                let m = self.mem_access(m_node, line, t2);
+                (self.net.send(m_node, node, data, m), m_node, lvl)
+            };
+            let acks = self.invalidate_all(&targets, line, home, node, g);
+            (arrive.max(acks), supplier, lvl)
+        } else {
+            // Cold write.
+            if home == node {
+                let g = self.dispatch(node, HandlerKind::ReadExclusive, 0, t);
+                (g, node, Level::LocalMem)
+            } else {
+                self.stats.remote_writes += 1;
+                let t1 = self.net.send(node, home, ctrl, t);
+                let g = self.dispatch(home, HandlerKind::ReadExclusive, 0, t1);
+                let t2 = self.net.send(home, node, data, g);
+                (t2, home, Level::Hop2)
+            }
+        };
+
+        let de = self.dir.entry(line).or_default();
+        de.owner = Some(node);
+        de.master = Some(node);
+        de.sharers = NodeSet::singleton(node);
+        let done = data_at + self.cfg.lat.fill;
+        self.am_fill(node, line, AmState::Dirty, provider, done);
+        self.fill_caches(node, line, CState::Dirty);
+        Access {
+            done_at: done,
+            level,
+        }
+    }
+
+    fn line_shift(&self) -> u32 {
+        self.cfg.line_shift
+    }
+
+    fn compute_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.nodes).collect()
+    }
+
+    fn stats(&self) -> &ProtoStats {
+        &self.stats
+    }
+
+    fn census(&self) -> Census {
+        let mut c = Census {
+            d_slots: self.cfg.am.capacity_lines() * self.cfg.nodes as u64,
+            ..Census::default()
+        };
+        for e in self.dir.values() {
+            if e.on_disk {
+                c.paged_out += 1;
+            } else if e.owner.is_some() {
+                c.dirty_in_p += 1;
+            } else if !e.sharers.is_empty() {
+                c.shared_in_p += 1;
+            }
+        }
+        c
+    }
+
+    fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    fn net_link_busy(&self) -> (Cycle, Cycle) {
+        (self.net.total_link_busy(), self.net.max_link_busy())
+    }
+
+    fn controller_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let busy: Cycle = self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum();
+        busy as f64 / (elapsed * self.nodes.len() as u64) as f64
+    }
+
+    fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind) {
+        let line = line_of(addr, self.cfg.line_shift);
+        self.home_of(line, owner);
+        if self.dir.contains_key(&line) {
+            return;
+        }
+        // COMA has no backing store: the pre-existing copy must live in
+        // some attraction memory. Cold private data sits dirty at its
+        // owner; shared-init data ended up spread across the machine by
+        // init-time capacity displacement (balance by free space, as the
+        // long-run injection equilibrium would).
+        let (state, candidates): (AmState, Vec<NodeId>) = match kind {
+            PreloadKind::ColdPrivate => {
+                let mut c: Vec<NodeId> = (0..self.cfg.nodes).collect();
+                c.sort_by_key(|&n| (self.net.hops(owner, n), n));
+                (AmState::Dirty, c)
+            }
+            PreloadKind::SharedInit => {
+                let mut c: Vec<NodeId> = (0..self.cfg.nodes).collect();
+                c.sort_by_key(|&n| (self.nodes[n].store.am.len(), n));
+                (AmState::SharedMaster, c)
+            }
+        };
+        for c in candidates {
+            if self.nodes[c].store.am.has_room_for(line) {
+                self.nodes[c].store.am.insert(line, state, victim_class);
+                let e = self.dir.entry(line).or_default();
+                e.master = Some(c);
+                e.sharers = NodeSet::singleton(c);
+                if state == AmState::Dirty {
+                    e.owner = Some(c);
+                }
+                return;
+            }
+        }
+        // Pathological set pressure everywhere: the copy sits on disk.
+        self.dir.entry(line).or_default().on_disk = true;
+        self.stats.disk_spills += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(am_lines: u64) -> ComaSystem {
+        ComaSystem::new(ComaCfg::paper(4, 8, 32, am_lines))
+    }
+
+    #[test]
+    fn cold_read_materializes_master_locally() {
+        let mut s = sys(1024);
+        let a = s.read(0, 0x1000, 0);
+        assert_eq!(a.level, Level::LocalMem);
+        assert_eq!(
+            s.nodes[0].store.am.peek(0x1000 >> 6),
+            Some(&AmState::SharedMaster)
+        );
+    }
+
+    #[test]
+    fn remote_read_attracts_copy() {
+        let mut s = sys(1024);
+        s.read(0, 0x1000, 0);
+        let a = s.read(1, 0x1000, 1000);
+        assert_eq!(a.level, Level::Hop2);
+        // Second access by node 1 is now a local memory hit.
+        s.nodes[1].store.caches.invalidate(0x1000 >> 6);
+        let b = s.read(1, 0x1000, 100_000);
+        assert_eq!(b.level, Level::LocalMem);
+    }
+
+    #[test]
+    fn read_of_dirty_line_leaves_shared_master_at_owner() {
+        let mut s = sys(1024);
+        s.write(0, 0x1000, 0);
+        let a = s.read(1, 0x1000, 1000);
+        assert_ne!(a.level, Level::LocalMem);
+        assert_eq!(
+            s.nodes[0].store.am.peek(0x1000 >> 6),
+            Some(&AmState::SharedMaster)
+        );
+        assert_eq!(s.nodes[1].store.am.peek(0x1000 >> 6), Some(&AmState::Shared));
+        let e = s.dir.get(&(0x1000 >> 6)).unwrap();
+        assert_eq!(e.owner, None);
+        assert_eq!(e.master, Some(0));
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut s = sys(1024);
+        s.read(0, 0x1000, 0);
+        s.read(1, 0x1000, 1000);
+        s.write(2, 0x1000, 10_000);
+        assert!(s.nodes[0].store.am.peek(0x1000 >> 6).is_none());
+        assert!(s.nodes[1].store.am.peek(0x1000 >> 6).is_none());
+        assert_eq!(s.nodes[2].store.am.peek(0x1000 >> 6), Some(&AmState::Dirty));
+        let e = s.dir.get(&(0x1000 >> 6)).unwrap();
+        assert_eq!(e.owner, Some(2));
+    }
+
+    #[test]
+    fn upgrade_of_am_dirty_is_local() {
+        let mut s = sys(1024);
+        s.write(0, 0x1000, 0);
+        s.read(0, 0x1000, 100); // caches now shared on a dirty AM line
+        let line = 0x1000 >> 6;
+        s.nodes[0].store.caches.invalidate(line);
+        s.read(0, 0x1000, 200);
+        let a = s.write(0, 0x1000, 300);
+        assert!(a.done_at - 300 < 60, "local upgrade was {}", a.done_at - 300);
+    }
+
+    #[test]
+    fn replacement_prefers_shared_over_master() {
+        // AM: 1 set × 2 ways per node.
+        let mut cfg = ComaCfg::paper(2, 8, 32, 4);
+        cfg.am = CacheCfg::new(2 * 64, 2, 6);
+        let mut s = ComaSystem::new(cfg);
+        // Node 0: master of line A (cold write), shared copy of line B.
+        s.write(0, 0, 0); // A: dirty master at 0
+        s.read(1, 64, 0); // B homed/mastered at node 1
+        s.read(0, 64, 1000); // node 0 gets shared copy of B
+        // New line C at node 0 must evict the shared B, not dirty A.
+        s.write(0, 128, 10_000);
+        let am = &s.nodes[0].store.am;
+        assert!(am.contains(0), "dirty master kept");
+        assert!(am.contains(2), "new line inserted");
+        assert!(!am.contains(1), "shared copy evicted");
+        assert_eq!(s.injections(), 0);
+    }
+
+    #[test]
+    fn master_replacement_injects() {
+        // AM: 1 set × 1 way per node → any second line evicts a master.
+        let mut cfg = ComaCfg::paper(3, 8, 32, 4);
+        cfg.am = CacheCfg::new(64, 1, 6);
+        cfg.l1 = CacheCfg::new(64, 1, 6);
+        cfg.l2 = CacheCfg::new(64, 1, 6);
+        let mut s = ComaSystem::new(cfg);
+        s.write(0, 0, 0); // line 0 dirty master at node 0
+        s.write(0, 64, 1000); // line 1 evicts it → injection
+        assert_eq!(s.injections(), 1);
+        // The dirty line must still live somewhere.
+        let e = s.dir.get(&0).unwrap();
+        let holder = e.owner.expect("still dirty somewhere");
+        assert!(s.nodes[holder].store.am.contains(0));
+        assert_ne!(holder, 0);
+    }
+
+    #[test]
+    fn forced_injection_spills_displaced_master_to_disk() {
+        // Every node: 1-line AM, all full of masters. Evicting a master
+        // from node 0 forces node 1 to take it in, spilling node 1's own
+        // master (line 1) to disk.
+        let mut cfg = ComaCfg::paper(2, 8, 32, 4);
+        cfg.am = CacheCfg::new(64, 1, 6);
+        cfg.l1 = CacheCfg::new(64, 1, 6);
+        cfg.l2 = CacheCfg::new(64, 1, 6);
+        cfg.injection_max_tries = 1;
+        let mut s = ComaSystem::new(cfg);
+        s.write(0, 0, 0);
+        s.write(1, 64, 0); // node 1's AM full with its own master
+        s.write(0, 128, 1000); // evicts line 0 → forced injection at node 1
+        assert_eq!(s.stats().disk_spills, 1);
+        // The injected line survived at node 1; node 1's old master spilled.
+        let injected = s.dir.get(&0).unwrap();
+        assert_eq!(injected.owner, Some(1));
+        assert!(s.nodes[1].store.am.contains(0));
+        let spilled = s.dir.get(&1).unwrap();
+        assert!(spilled.on_disk);
+        // Reading the spilled line faults from disk.
+        let a = s.read(0, 64, 1_000_000);
+        assert!(a.done_at - 1_000_000 >= s.cfg.lat.disk);
+        assert_eq!(s.stats().disk_faults, 1);
+    }
+
+    #[test]
+    fn three_hop_when_home_displaced() {
+        let mut s = sys(1024);
+        // Page homed at node 0 but mastered at node 1 after a cold write
+        // at 0... instead: node 0 touches (master), node 1 writes (owner),
+        // node 2 reads → 3 hops via node 1.
+        s.read(0, 0x1000, 0);
+        s.write(1, 0x1000, 1000);
+        let a = s.read(2, 0x1000, 10_000);
+        assert_eq!(a.level, Level::Hop3);
+    }
+
+    #[test]
+    fn cache_hit_levels() {
+        let mut s = sys(1024);
+        s.read(0, 0x1000, 0);
+        assert_eq!(s.read(0, 0x1000, 100).level, Level::L1);
+    }
+}

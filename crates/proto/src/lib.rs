@@ -1,0 +1,44 @@
+//! DSM cache-coherence protocols for the PIM-DSM simulator.
+//!
+//! Three complete memory systems, all implementing [`MemSystem`]:
+//!
+//! - [`AggSystem`] — the paper's proposal (Section 2): P-nodes whose tagged
+//!   local memory is a huge cache, and D-nodes — identical PIM chips —
+//!   running the directory protocol in *software* with the
+//!   Directory/Data/Pointer-array organization of Section 2.2.2
+//!   (fully-associative D-memory, FreeList/SharedList, the COMA-inspired
+//!   *shared-master* state, threshold-triggered page-out instead of
+//!   injection).
+//! - [`ComaSystem`] — a flat COMA baseline: every node's memory is an
+//!   attraction memory, directory homes keep only state, and replaced
+//!   master lines are *injected* into other memories (Joe & Hennessy).
+//! - [`NumaSystem`] — a CC-NUMA baseline: plain home memory, on-chip
+//!   directory controller whose access is overlapped with the memory
+//!   access.
+//!
+//! All three share the same node substrate (L1/L2 private caches from
+//! [`pimdsm_mem`], the wormhole mesh from [`pimdsm_net`]) and the same
+//! conservatively-ordered transaction-walk timing model: every memory
+//! transaction books contended resources (links, protocol
+//! processors/controllers, DRAM ports) on its path and returns a completion
+//! cycle plus the satisfaction [`Level`] used for the paper's Figure 7
+//! breakdown.
+
+pub mod agg;
+pub mod coma;
+pub mod common;
+pub mod dnode;
+pub mod numa;
+pub mod pnode;
+pub mod system;
+
+pub use agg::{AggCfg, AggSystem};
+pub use coma::{ComaCfg, ComaSystem};
+pub use common::{
+    Access, AmState, Census, ControllerKind, CState, HandlerCosts, HandlerKind, LatencyCfg, Level,
+    MsgSize, NodeId, NodeSet, PreloadKind, ProtoStats,
+};
+pub use dnode::DNode;
+pub use numa::{NumaCfg, NumaSystem};
+pub use pnode::{PrivCaches, PNodeStore};
+pub use system::MemSystem;

@@ -1,0 +1,624 @@
+//! CC-NUMA baseline.
+//!
+//! Every node owns a slice of physical memory (first-touch page placement)
+//! backed by plain DRAM; remote lines are cached only in the private L1/L2
+//! SRAM caches. The directory controller sits on chip and its access is
+//! overlapped with the memory access, so a transaction satisfied by the
+//! home memory pays no directory latency (Section 3 of the paper). The
+//! protocol is a DASH-style invalidation protocol: reads of remote-dirty
+//! lines forward to the owner (3 hops) with a sharing write-back to the
+//! home; writes invalidate sharers and collect acknowledgments.
+
+use std::collections::HashMap;
+
+use pimdsm_engine::{Cycle, Server};
+use pimdsm_mem::{line_of, CacheCfg, Dram, Line, PageTable};
+use pimdsm_net::{Mesh, NetCfg, NetStats, Network};
+
+use crate::common::{
+    Access, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level, MsgSize,
+    NodeId, NodeSet, PreloadKind, ProtoStats,
+};
+use crate::pnode::{OnChipLru, PrivCaches, WriteProbe};
+use crate::system::{data_bytes, MemSystem};
+
+/// Configuration of a [`NumaSystem`].
+#[derive(Debug, Clone)]
+pub struct NumaCfg {
+    /// Number of nodes (each runs one application thread).
+    pub nodes: usize,
+    /// L1 geometry.
+    pub l1: CacheCfg,
+    /// L2 geometry.
+    pub l2: CacheCfg,
+    /// Local memory capacity per node, in lines.
+    pub node_mem_lines: u64,
+    /// Of those, how many fit on chip.
+    pub onchip_lines: u64,
+    /// Line size shift (64 B lines → 6).
+    pub line_shift: u32,
+    /// Page size shift (4 KiB pages → 12).
+    pub page_shift: u32,
+    /// Latency table.
+    pub lat: LatencyCfg,
+    /// Message sizes.
+    pub msg: MsgSize,
+    /// Network timing (double-width links vs AGG, per Section 3).
+    pub net: NetCfg,
+    /// Directory controller costs (hardware: 70% of Table 2).
+    pub handler: HandlerCosts,
+    /// Local memory port bandwidth, bytes/cycle.
+    pub mem_bytes_per_cycle: u64,
+}
+
+impl NumaCfg {
+    /// A 32-node configuration with the paper's Table 1 parameters and
+    /// the given per-application cache sizes / memory capacity.
+    pub fn paper(nodes: usize, l1_kb: u64, l2_kb: u64, node_mem_lines: u64) -> Self {
+        let line_shift = 6;
+        NumaCfg {
+            nodes,
+            l1: CacheCfg::new(l1_kb * 1024, 1, line_shift),
+            l2: CacheCfg::new(l2_kb * 1024, 4, line_shift),
+            node_mem_lines,
+            onchip_lines: node_mem_lines / 2,
+            line_shift,
+            page_shift: 12,
+            lat: LatencyCfg::default(),
+            msg: MsgSize::default(),
+            net: NetCfg {
+                bytes_per_cycle: 4,
+                ..NetCfg::default()
+            },
+            handler: HandlerCosts::paper(ControllerKind::Hardware),
+            mem_bytes_per_cycle: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    sharers: NodeSet,
+    owner: Option<NodeId>,
+}
+
+#[derive(Debug)]
+struct NumaNode {
+    caches: PrivCaches,
+    onchip: OnChipLru,
+    mem_on: Dram,
+    mem_off: Dram,
+    ctrl: Server,
+}
+
+/// The CC-NUMA machine.
+#[derive(Debug)]
+pub struct NumaSystem {
+    cfg: NumaCfg,
+    nodes: Vec<NumaNode>,
+    dir: HashMap<Line, DirEntry>,
+    pages: PageTable,
+    net: Network,
+    stats: ProtoStats,
+}
+
+impl NumaSystem {
+    /// Builds an idle NUMA machine.
+    pub fn new(cfg: NumaCfg) -> Self {
+        assert!(cfg.nodes > 0 && cfg.nodes <= NodeSet::MAX_NODES);
+        let line_bytes = 1u64 << cfg.line_shift;
+        let transfer = line_bytes.div_ceil(cfg.mem_bytes_per_cycle);
+        // Calibrate the DRAM device latency so the end-to-end local
+        // round trip (L2 probe + device + line fill) lands on Table 1's
+        // 37/57-cycle values.
+        let overhead = cfg.lat.l2 + cfg.lat.fill + transfer;
+        let nodes = (0..cfg.nodes)
+            .map(|_| NumaNode {
+                caches: PrivCaches::new(cfg.l1, cfg.l2),
+                onchip: OnChipLru::new(cfg.onchip_lines as usize),
+                mem_on: Dram::new(
+                    cfg.lat.mem_on.saturating_sub(overhead),
+                    cfg.mem_bytes_per_cycle,
+                ),
+                mem_off: Dram::new(
+                    cfg.lat.mem_off.saturating_sub(overhead),
+                    cfg.mem_bytes_per_cycle,
+                ),
+                ctrl: Server::new(),
+            })
+            .collect();
+        let net = Network::new(Mesh::for_nodes(cfg.nodes), cfg.net);
+        NumaSystem {
+            pages: PageTable::new(cfg.page_shift),
+            dir: HashMap::new(),
+            nodes,
+            net,
+            stats: ProtoStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &NumaCfg {
+        &self.cfg
+    }
+
+    fn lines_per_page(&self) -> u64 {
+        1 << (self.cfg.page_shift - self.cfg.line_shift)
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.cfg.node_mem_lines / self.lines_per_page()
+    }
+
+    /// Home of a line: first-touch with capacity spill to the
+    /// least-loaded node.
+    fn home_of(&mut self, line: Line, toucher: NodeId) -> NodeId {
+        let page = line >> (self.cfg.page_shift - self.cfg.line_shift);
+        if let Some(h) = self.pages.home(page) {
+            return h;
+        }
+        let cap = self.capacity_pages();
+        let home = if self.pages.pages_at(toucher) < cap {
+            toucher
+        } else {
+            (0..self.cfg.nodes)
+                .min_by_key(|&n| (self.pages.pages_at(n), n))
+                .expect("at least one node")
+        };
+        self.pages.home_or_assign(page, || home)
+    }
+
+    fn ctrl_bytes(&self) -> u32 {
+        self.msg_ctrl()
+    }
+
+    fn msg_ctrl(&self) -> u32 {
+        self.cfg.msg.ctrl
+    }
+
+    fn msg_data(&self) -> u32 {
+        data_bytes(self.cfg.msg.data_header, self.cfg.line_shift)
+    }
+
+    /// Local memory access at `node` (dir access overlapped).
+    fn local_mem(&mut self, node: NodeId, line: Line, now: Cycle) -> Cycle {
+        let bytes = 1u64 << self.cfg.line_shift;
+        let n = &mut self.nodes[node];
+        match n.onchip.touch(line) {
+            pimdsm_mem::Residency::OnChip => n.mem_on.access(now, bytes),
+            pimdsm_mem::Residency::OffChip => n.mem_off.access(now, bytes),
+        }
+    }
+
+    /// Handles an L2 victim produced by a fill at `node`.
+    fn handle_victim(&mut self, node: NodeId, victim: Option<(Line, CState)>, now: Cycle) {
+        let Some((line, state)) = victim else { return };
+        match state {
+            CState::Shared => {
+                // Silent drop; the directory keeps a stale sharer bit,
+                // which later costs at most a wasted invalidation.
+            }
+            CState::Dirty => {
+                self.stats.write_backs += 1;
+                let home = self
+                    .pages
+                    .home(line >> (self.cfg.page_shift - self.cfg.line_shift))
+                    .expect("dirty line must have a mapped page");
+                let entry = self.dir.entry(line).or_default();
+                entry.owner = None;
+                if home == node {
+                    self.local_mem(node, line, now);
+                } else {
+                    let bytes = self.msg_data();
+                    let t = self.net.send(node, home, bytes, now);
+                    let (l, o) = self.cfg.handler.cost(HandlerKind::WriteBack, 0);
+                    let g = self.nodes[home].ctrl.dispatch(t, l, o);
+                    self.local_mem(home, line, g.start);
+                }
+            }
+        }
+    }
+
+    /// Invalidates `line` at each node of `targets`, acks collected at
+    /// `collector`. Returns the cycle when the last ack arrives.
+    fn invalidate_all(
+        &mut self,
+        targets: &[NodeId],
+        line: Line,
+        from: NodeId,
+        collector: NodeId,
+        at: Cycle,
+    ) -> Cycle {
+        let mut done = at;
+        let ctrl = self.ctrl_bytes();
+        let (al, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
+        for &k in targets {
+            self.stats.invalidations += 1;
+            let t1 = self.net.send(from, k, ctrl, at);
+            self.nodes[k].caches.invalidate(line);
+            let start = self.nodes[k].ctrl.occupy(t1, ao);
+            let t2 = self.net.send(k, collector, ctrl, start + al);
+            done = done.max(t2);
+        }
+        done
+    }
+}
+
+impl MemSystem for NumaSystem {
+    fn name(&self) -> &'static str {
+        "NUMA"
+    }
+
+    fn read(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        if let Some(level) = self.nodes[node].caches.read_probe(line) {
+            let lat = match level {
+                Level::L1 => self.cfg.lat.l1,
+                _ => self.cfg.lat.l2,
+            };
+            let done = now + lat;
+            self.stats.record_read(level, lat);
+            return Access {
+                done_at: done,
+                level,
+            };
+        }
+
+        let t = now + self.cfg.lat.l2; // L1+L2 probe time before going out
+        let home = self.home_of(line, node);
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let ctrl = self.ctrl_bytes();
+        let data = self.msg_data();
+        let (rl, ro) = self.cfg.handler.cost(HandlerKind::Read, 0);
+
+        let (data_at, level) = if home == node {
+            match entry.owner {
+                Some(k) if k != node => {
+                    // Local home, dirty at remote k: fetch + write back here.
+                    let t1 = self.net.send(node, k, ctrl, t);
+                    let g = self.nodes[k].ctrl.dispatch(t1, rl, ro);
+                    self.nodes[k].caches.downgrade(line);
+                    let t2 = self.net.send(k, node, data, g.reply_at);
+                    self.local_mem(node, line, t2); // sharing write-back
+                    let e = self.dir.entry(line).or_default();
+                    e.owner = None;
+                    e.sharers.insert(k);
+                    (t2, Level::Hop2)
+                }
+                _ => {
+                    // Clean at local home: directory overlapped with memory.
+                    let m = self.local_mem(node, line, t);
+                    (m, Level::LocalMem)
+                }
+            }
+        } else {
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.nodes[home].ctrl.dispatch(t1, rl, ro);
+            match entry.owner {
+                Some(k) if k != node && k != home => {
+                    // Forward to the owner; owner replies to the requestor
+                    // and writes the line back to the home (DASH style).
+                    let t2 = self.net.send(home, k, ctrl, g.reply_at);
+                    let g2 = self.nodes[k].ctrl.dispatch(t2, rl, ro);
+                    self.nodes[k].caches.downgrade(line);
+                    let t3 = self.net.send(k, node, data, g2.reply_at);
+                    let twb = self.net.send(k, home, data, g2.reply_at);
+                    self.local_mem(home, line, twb);
+                    let e = self.dir.entry(line).or_default();
+                    e.owner = None;
+                    e.sharers.insert(k);
+                    self.stats.master_fetches += 1;
+                    (t3, Level::Hop3)
+                }
+                Some(k) if k == home => {
+                    // Home itself holds it dirty in its caches.
+                    self.nodes[home].caches.downgrade(line);
+                    let m = self.local_mem(home, line, g.reply_at);
+                    let t2 = self.net.send(home, node, data, m);
+                    let e = self.dir.entry(line).or_default();
+                    e.owner = None;
+                    e.sharers.insert(home);
+                    (t2, Level::Hop2)
+                }
+                _ => {
+                    // Clean at home: the directory access is overlapped
+                    // with the memory access and adds no latency.
+                    let m = self.local_mem(home, line, g.start);
+                    let t2 = self.net.send(home, node, data, m);
+                    (t2, Level::Hop2)
+                }
+            }
+        };
+
+        self.dir.entry(line).or_default().sharers.insert(node);
+        let done = data_at + self.cfg.lat.fill;
+        let victim = self.nodes[node].caches.fill(line, CState::Shared);
+        self.handle_victim(node, victim, done);
+        self.stats.record_read(level, done - now);
+        Access {
+            done_at: done,
+            level,
+        }
+    }
+
+    fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        match self.nodes[node].caches.write_probe(line) {
+            WriteProbe::Done(level) => {
+                let lat = match level {
+                    Level::L1 => self.cfg.lat.l1,
+                    _ => self.cfg.lat.l2,
+                };
+                return Access {
+                    done_at: now + lat,
+                    level,
+                };
+            }
+            WriteProbe::NeedUpgrade => {
+                let t = now + self.cfg.lat.l2;
+                let home = self.home_of(line, node);
+                let entry = self.dir.entry(line).or_default();
+                let targets: Vec<NodeId> =
+                    entry.sharers.iter().filter(|&s| s != node).collect();
+                entry.sharers.clear();
+                entry.sharers.insert(node);
+                entry.owner = Some(node);
+                let ctrl = self.ctrl_bytes();
+                let (xl, xo) = self
+                    .cfg
+                    .handler
+                    .cost(HandlerKind::ReadExclusive, targets.len() as u32);
+                let (done, level) = if home == node {
+                    let g = self.nodes[home].ctrl.dispatch(t, xl, xo);
+                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                    (acks.max(g.reply_at), Level::LocalMem)
+                } else {
+                    self.stats.remote_writes += 1;
+                    let t1 = self.net.send(node, home, ctrl, t);
+                    let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
+                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                    let grant = self.net.send(home, node, ctrl, g.reply_at);
+                    (acks.max(grant), Level::Hop2)
+                };
+                self.nodes[node].caches.mark_dirty(line);
+                return Access {
+                    done_at: done + self.cfg.lat.fill,
+                    level,
+                };
+            }
+            WriteProbe::Miss => {}
+        }
+
+        // Read-exclusive: fetch the line with ownership.
+        let t = now + self.cfg.lat.l2;
+        let home = self.home_of(line, node);
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
+        let ctrl = self.ctrl_bytes();
+        let data = self.msg_data();
+        let (xl, xo) = self
+            .cfg
+            .handler
+            .cost(HandlerKind::ReadExclusive, targets.len() as u32);
+
+        let (data_at, level) = if home == node {
+            match entry.owner {
+                Some(k) if k != node => {
+                    let t1 = self.net.send(node, k, ctrl, t);
+                    let g = self.nodes[k].ctrl.dispatch(t1, xl, xo);
+                    self.nodes[k].caches.invalidate(line);
+                    self.stats.invalidations += 1;
+                    let t2 = self.net.send(k, node, data, g.reply_at);
+                    (t2, Level::Hop2)
+                }
+                _ => {
+                    let g = self.nodes[node].ctrl.dispatch(t, xl, xo);
+                    let m = self.local_mem(node, line, t);
+                    let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
+                    (m.max(acks), Level::LocalMem)
+                }
+            }
+        } else {
+            self.stats.remote_writes += 1;
+            let t1 = self.net.send(node, home, ctrl, t);
+            let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
+            match entry.owner {
+                Some(k) if k != node && k != home => {
+                    let t2 = self.net.send(home, k, ctrl, g.reply_at);
+                    let (rl, ro) = self.cfg.handler.cost(HandlerKind::Read, 0);
+                    let g2 = self.nodes[k].ctrl.dispatch(t2, rl, ro);
+                    self.nodes[k].caches.invalidate(line);
+                    self.stats.invalidations += 1;
+                    let t3 = self.net.send(k, node, data, g2.reply_at);
+                    (t3, Level::Hop3)
+                }
+                Some(k) if k == home => {
+                    self.nodes[home].caches.invalidate(line);
+                    self.stats.invalidations += 1;
+                    let m = self.local_mem(home, line, g.reply_at);
+                    let t2 = self.net.send(home, node, data, m);
+                    (t2, Level::Hop2)
+                }
+                _ => {
+                    let m = self.local_mem(home, line, g.start);
+                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                    let t2 = self.net.send(home, node, data, m);
+                    (t2.max(acks), Level::Hop2)
+                }
+            }
+        };
+
+        let e = self.dir.entry(line).or_default();
+        e.sharers.clear();
+        e.owner = Some(node);
+        let done = data_at + self.cfg.lat.fill;
+        let victim = self.nodes[node].caches.fill(line, CState::Dirty);
+        self.handle_victim(node, victim, done);
+        Access {
+            done_at: done,
+            level,
+        }
+    }
+
+    fn line_shift(&self) -> u32 {
+        self.cfg.line_shift
+    }
+
+    fn compute_nodes(&self) -> Vec<NodeId> {
+        (0..self.cfg.nodes).collect()
+    }
+
+    fn stats(&self) -> &ProtoStats {
+        &self.stats
+    }
+
+    fn census(&self) -> Census {
+        let mut c = Census {
+            d_slots: self.cfg.node_mem_lines * self.cfg.nodes as u64,
+            ..Census::default()
+        };
+        for e in self.dir.values() {
+            if e.owner.is_some() {
+                c.dirty_in_p += 1;
+            } else if !e.sharers.is_empty() {
+                c.shared_in_p += 1;
+                c.shared_with_home_copy += 1;
+            } else {
+                c.d_node_only += 1;
+            }
+        }
+        c
+    }
+
+    fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    fn net_link_busy(&self) -> (Cycle, Cycle) {
+        (self.net.total_link_busy(), self.net.max_link_busy())
+    }
+
+    fn controller_utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let busy: Cycle = self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum();
+        busy as f64 / (elapsed * self.nodes.len() as u64) as f64
+    }
+
+    fn preload(&mut self, addr: u64, owner: NodeId, _kind: PreloadKind) {
+        let line = line_of(addr, self.cfg.line_shift);
+        // Plain memory backs everything: establishing the page home is
+        // all the state NUMA needs (capacity spill included).
+        self.home_of(line, owner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> NumaSystem {
+        NumaSystem::new(NumaCfg::paper(4, 8, 32, 4096))
+    }
+
+    #[test]
+    fn first_read_is_local_after_first_touch() {
+        let mut s = sys();
+        let a = s.read(0, 0x1000, 0);
+        assert_eq!(a.level, Level::LocalMem);
+        // Round trip within a few cycles of Table 1 (37) plus probe/fill.
+        assert!(a.done_at < 70, "local read took {}", a.done_at);
+    }
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut s = sys();
+        s.read(0, 0x1000, 0);
+        let a = s.read(0, 0x1000, 100);
+        assert_eq!(a.level, Level::L1);
+        assert_eq!(a.done_at, 103);
+    }
+
+    #[test]
+    fn remote_read_is_two_hops() {
+        let mut s = sys();
+        s.read(0, 0x1000, 0); // node 0 first-touches the page
+        let a = s.read(1, 0x1000, 1000);
+        assert_eq!(a.level, Level::Hop2);
+        assert!(a.done_at - 1000 > 100, "remote read too fast");
+    }
+
+    #[test]
+    fn dirty_remote_read_is_three_hops() {
+        let mut s = sys();
+        s.read(0, 0x1000, 0); // home = node 0
+        s.write(1, 0x1000, 100); // node 1 owns it dirty
+        let a = s.read(2, 0x1000, 10_000);
+        assert_eq!(a.level, Level::Hop3);
+    }
+
+    #[test]
+    fn read_after_dirty_remote_finds_clean_home() {
+        let mut s = sys();
+        s.read(0, 0x1000, 0);
+        s.write(1, 0x1000, 100);
+        s.read(2, 0x1000, 10_000); // forces sharing write-back to home 0
+        let a = s.read(3, 0x1000, 100_000);
+        assert_eq!(a.level, Level::Hop2, "home has a clean copy again");
+    }
+
+    #[test]
+    fn write_hit_dirty_is_cheap() {
+        let mut s = sys();
+        s.write(0, 0x1000, 0);
+        let a = s.write(0, 0x1000, 500);
+        assert_eq!(a.level, Level::L1);
+        assert_eq!(a.done_at, 503);
+    }
+
+    #[test]
+    fn upgrade_invalidates_sharers() {
+        let mut s = sys();
+        s.read(0, 0x1000, 0);
+        s.read(1, 0x1000, 1000);
+        s.read(2, 0x1000, 2000);
+        let before = s.stats().invalidations;
+        s.write(1, 0x1000, 10_000);
+        assert!(s.stats().invalidations >= before + 2, "0 and 2 invalidated");
+        // Node 2's cached copy is gone: reading again is remote.
+        let a = s.read(2, 0x1000, 100_000);
+        assert_ne!(a.level, Level::L1);
+        assert_ne!(a.level, Level::L2);
+    }
+
+    #[test]
+    fn local_write_to_uncached_line() {
+        let mut s = sys();
+        let a = s.write(0, 0x2000, 0);
+        assert_eq!(a.level, Level::LocalMem);
+    }
+
+    #[test]
+    fn census_counts_states() {
+        let mut s = sys();
+        s.read(0, 0x0, 0); // shared
+        s.write(1, 0x4000, 0); // dirty at 1 (page homed at 1)
+        let c = s.census();
+        assert_eq!(c.shared_in_p, 1);
+        assert_eq!(c.dirty_in_p, 1);
+    }
+
+    #[test]
+    fn first_touch_spills_when_node_full() {
+        // Tiny memory: 64 lines per node = 1 page of 64 lines.
+        let mut cfg = NumaCfg::paper(2, 8, 32, 64);
+        cfg.page_shift = 12;
+        let mut s = NumaSystem::new(cfg);
+        s.read(0, 0, 0); // page 0 -> node 0 (fills its 1-page capacity)
+        s.read(0, 0x1000, 100); // page 1 must spill to node 1
+        assert_eq!(s.pages.home(0), Some(0));
+        assert_eq!(s.pages.home(1), Some(1));
+    }
+}

@@ -1,0 +1,61 @@
+//! The common interface all three memory systems implement.
+
+use pimdsm_engine::Cycle;
+use pimdsm_net::NetStats;
+
+use crate::common::{Access, Census, NodeId, PreloadKind, ProtoStats};
+
+/// A complete coherent memory system: caches, local memories, directory
+/// protocol and interconnect.
+///
+/// The machine driver (crate `pimdsm`) issues one transaction at a time
+/// per thread; implementations walk the transaction synchronously, booking
+/// every contended resource along its path, and return the completion
+/// cycle plus the satisfaction level.
+pub trait MemSystem {
+    /// Short architecture name ("NUMA", "COMA", "AGG").
+    fn name(&self) -> &'static str;
+
+    /// Performs a read issued by `node` at `now`; returns completion time
+    /// and satisfaction level. Statistics are recorded internally.
+    fn read(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access;
+
+    /// Performs a write (obtains ownership) issued by `node` at `now`.
+    fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access;
+
+    /// Line size shift (lines are `1 << line_shift()` bytes).
+    fn line_shift(&self) -> u32;
+
+    /// The nodes on which application threads run (all nodes for
+    /// NUMA/COMA; the P-nodes for AGG).
+    fn compute_nodes(&self) -> Vec<NodeId>;
+
+    /// Aggregate protocol statistics.
+    fn stats(&self) -> &ProtoStats;
+
+    /// Classification of every mapped line (Figure 8); meaningful mainly
+    /// for AGG but implemented by all systems.
+    fn census(&self) -> Census;
+
+    /// Interconnect statistics.
+    fn net_stats(&self) -> NetStats;
+
+    /// (total, max-per-link) busy cycles on the interconnect.
+    fn net_link_busy(&self) -> (Cycle, Cycle);
+
+    /// Mean utilization of the protocol controllers/D-node processors over
+    /// `elapsed` cycles, in `[0, 1]`.
+    fn controller_utilization(&self, elapsed: Cycle) -> f64;
+
+    /// Functionally installs a line that existed before the measured
+    /// region (initialization happens outside the paper's measurement
+    /// window): assigns its page home as if `owner` had first-touched it
+    /// and places the data where that kind of initialization leaves it.
+    /// Consumes no simulated time.
+    fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind);
+}
+
+/// Size in bytes of a data-bearing message.
+pub(crate) fn data_bytes(header: u32, line_shift: u32) -> u32 {
+    header + (1u32 << line_shift)
+}

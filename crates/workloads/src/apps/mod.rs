@@ -1,0 +1,13 @@
+//! The seven applications of the paper's evaluation (Table 3).
+
+pub mod barnes;
+pub mod dbase;
+pub mod fft;
+pub mod radix;
+pub mod stencil;
+
+pub use barnes::Barnes;
+pub use dbase::Dbase;
+pub use fft::Fft;
+pub use radix::Radix;
+pub use stencil::{Stencil, StencilCfg};

@@ -1,0 +1,258 @@
+//! The application catalog: Table 3 of the paper, with problem-size
+//! scaling.
+
+use crate::apps::{stencil, Barnes, Dbase, Fft, Radix};
+use crate::ops::Workload;
+
+/// One of the paper's seven applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// Complex 1-D FFT, 64K points (SPLASH-2).
+    Fft,
+    /// Integer radix sort, 1M keys / 1K radix (SPLASH-2).
+    Radix,
+    /// Ocean current simulation, 256×256 grid (SPLASH-2).
+    Ocean,
+    /// Barnes-Hut N-body, 16K bodies (SPLASH-2).
+    Barnes,
+    /// Shallow-water weather prediction (SPEC95, SUIF-parallelized).
+    Swim,
+    /// Vectorized mesh generation (SPEC95, SUIF-parallelized).
+    Tomcatv,
+    /// TPC-D query 3 on a 1 GB database, hand-parallelized.
+    Dbase,
+}
+
+/// All seven applications, in the paper's order.
+pub const ALL_APPS: [AppId; 7] = [
+    AppId::Fft,
+    AppId::Radix,
+    AppId::Ocean,
+    AppId::Barnes,
+    AppId::Swim,
+    AppId::Tomcatv,
+    AppId::Dbase,
+];
+
+impl AppId {
+    /// The paper's name for the application.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppId::Fft => "FFT",
+            AppId::Radix => "Radix",
+            AppId::Ocean => "Ocean",
+            AppId::Barnes => "Barnes",
+            AppId::Swim => "Swim",
+            AppId::Tomcatv => "Tomcat",
+            AppId::Dbase => "Dbase",
+        }
+    }
+
+    /// Table 3's problem-size description.
+    pub fn description(self) -> &'static str {
+        match self {
+            AppId::Fft => "Complex 1-D FFT with 64K points",
+            AppId::Radix => "Integer radix sort with 1M keys and a 1K radix",
+            AppId::Ocean => "Current simulation with a 256x256 grid",
+            AppId::Barnes => "N-body problem with 16K bodies",
+            AppId::Swim => "Weather prediction with Ref. problem size",
+            AppId::Tomcatv => "Fluid dynamics with Ref. problem size",
+            AppId::Dbase => "TPC-D query 3 with 1GB database",
+        }
+    }
+
+    /// (L1, L2) sizes in KiB (Table 3).
+    pub fn cache_kb(self) -> (u64, u64) {
+        match self {
+            AppId::Fft | AppId::Radix | AppId::Ocean | AppId::Barnes => (8, 32),
+            AppId::Swim => (32, 128),
+            AppId::Tomcatv => (64, 256),
+            AppId::Dbase => (64, 512),
+        }
+    }
+
+    /// Whether the paper pairs this app with the 1/2 (rather than 1/4)
+    /// D-to-P node ratio in Figure 6 ("they put relatively more demands
+    /// on the D-nodes").
+    pub fn wants_half_ratio(self) -> bool {
+        matches!(self, AppId::Fft | AppId::Radix | AppId::Ocean)
+    }
+}
+
+/// Problem-size scaling: every linear dimension is divided by `size_div`
+/// and iteration counts by `iter_div`, keeping the *shape* of each
+/// workload while letting the full evaluation run in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Divisor on problem sizes.
+    pub size_div: u64,
+    /// Divisor on iteration/step counts.
+    pub iter_div: u64,
+}
+
+impl Scale {
+    /// The paper's full problem sizes (slow: hours of simulation).
+    pub fn full() -> Self {
+        Scale {
+            size_div: 1,
+            iter_div: 1,
+        }
+    }
+
+    /// Default benchmark scale (~minutes for the whole evaluation).
+    pub fn bench() -> Self {
+        Scale {
+            size_div: 8,
+            iter_div: 2,
+        }
+    }
+
+    /// Tiny scale for CI tests (~seconds).
+    pub fn ci() -> Self {
+        Scale {
+            size_div: 32,
+            iter_div: 8,
+        }
+    }
+
+    fn shrink(&self, v: u64, min: u64) -> u64 {
+        (v / self.size_div.max(1)).max(min)
+    }
+
+    fn shrink_iters(&self, v: u64, min: u64) -> u64 {
+        (v / self.iter_div.max(1)).max(min)
+    }
+}
+
+/// Builds the model of `app` for `threads` threads at the given scale.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_workloads::{build, AppId, Scale};
+///
+/// let w = build(AppId::Fft, 8, Scale::ci());
+/// assert_eq!(w.name(), "FFT");
+/// assert_eq!(w.threads(), 8);
+/// assert!(w.footprint_bytes() > 0);
+/// ```
+pub fn build(app: AppId, threads: usize, scale: Scale) -> Box<dyn Workload> {
+    Box::new(crate::cold::WithColdData::new(
+        build_active(app, threads, scale),
+        COLD_FACTOR,
+    ))
+}
+
+/// Ratio of once-touched (cold) to actively swept data appended to every
+/// application (see `cold` module docs).
+pub const COLD_FACTOR: f64 = 2.0;
+
+/// Builds the active part of `app` without the cold-data wrapper.
+pub fn build_active(app: AppId, threads: usize, scale: Scale) -> Box<dyn Workload> {
+    match app {
+        AppId::Fft => {
+            // Keep at least 1K points (16 KiB) per thread so the local
+            // FFT phases have capacity working sets, as in the paper.
+            let points = scale.shrink(64 * 1024, threads as u64 * 1024);
+            Box::new(Fft::new(threads, points))
+        }
+        AppId::Radix => {
+            let keys = scale.shrink(1024 * 1024, threads as u64 * 256);
+            let passes = scale.shrink_iters(4, 2) as u32;
+            Box::new(Radix::new(threads, keys, passes))
+        }
+        AppId::Ocean => Box::new(stencil::ocean(threads, scale.size_div, scale.iter_div)),
+        AppId::Barnes => {
+            let bodies = scale.shrink(16 * 1024, threads as u64 * 32);
+            let steps = scale.shrink_iters(4, 1) as u32;
+            Box::new(Barnes::new(threads, bodies, steps))
+        }
+        AppId::Swim => Box::new(stencil::swim(threads, scale.size_div, scale.iter_div)),
+        AppId::Tomcatv => Box::new(stencil::tomcatv(threads, scale.size_div, scale.iter_div)),
+        AppId::Dbase => {
+            let table = dbase_table_bytes(threads, scale);
+            Box::new(Dbase::new(threads, threads, table, false))
+        }
+    }
+}
+
+/// Table size used for the Dbase model at a given scale (the paper's
+/// 1 GB database holds two working tables; we scale them down together).
+pub fn dbase_table_bytes(threads: usize, scale: Scale) -> u64 {
+    let raw = (256u64 * 1024 * 1024) / scale.size_div.max(1) / 4;
+    raw.max(threads as u64 * 16 * 1024)
+}
+
+/// Builds the Dbase model with distinct phase thread counts and optional
+/// computation-in-memory offload (Figures 10-(a) and 10-(b)).
+pub fn build_dbase(
+    hash_threads: usize,
+    join_threads: usize,
+    scale: Scale,
+    offload: bool,
+) -> Box<dyn Workload> {
+    let table = dbase_table_bytes(hash_threads.max(join_threads), scale);
+    Box::new(crate::cold::WithColdData::new(
+        Box::new(Dbase::new(hash_threads, join_threads, table, offload)),
+        COLD_FACTOR,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_build_and_spawn() {
+        for app in ALL_APPS {
+            let w = build(app, 4, Scale::ci());
+            assert_eq!(w.threads(), 4);
+            assert!(w.footprint_bytes() > 0, "{:?}", app);
+            let mut g = w.spawn(0);
+            assert!(g.next_op().is_some(), "{:?} generates no ops", app);
+            let (l1, l2) = app.cache_kb();
+            assert_eq!(w.l1_kb(), l1);
+            assert_eq!(w.l2_kb(), l2);
+        }
+    }
+
+    #[test]
+    fn apps_build_for_many_thread_counts() {
+        for &t in &[2usize, 3, 8, 32] {
+            for app in ALL_APPS {
+                let w = build(app, t, Scale::ci());
+                assert_eq!(w.threads(), t, "{app:?} x{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_orders_footprints() {
+        for app in ALL_APPS {
+            let big = build(app, 4, Scale::bench()).footprint_bytes();
+            let small = build(app, 4, Scale::ci()).footprint_bytes();
+            assert!(
+                big >= small,
+                "{app:?}: bench {big} < ci {small}"
+            );
+        }
+    }
+
+    #[test]
+    fn dbase_reconfig_variant() {
+        let w = build_dbase(2, 4, Scale::ci(), false);
+        assert_eq!(w.threads(), 4);
+        assert!(w.reconfig_barrier().is_some());
+        let opt = build_dbase(2, 2, Scale::ci(), true);
+        assert!(opt.reconfig_barrier().is_none());
+    }
+
+    #[test]
+    fn names_match_table3() {
+        let names: Vec<&str> = ALL_APPS.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["FFT", "Radix", "Ocean", "Barnes", "Swim", "Tomcat", "Dbase"]
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic workload models for the PIM-DSM simulator.
+//!
+//! The paper drives its evaluation with seven applications (Table 3): four
+//! SPLASH-2 codes (FFT, Radix, Ocean, Barnes), two SPEC95 codes
+//! automatically parallelized by SUIF (Swim, Tomcatv), and TPC-D query 3
+//! (Dbase). We cannot execute the original MIPS binaries, so each
+//! application is modeled as a deterministic per-thread generator of
+//! [`Op`]s that reproduces the *memory behaviour the protocols care
+//! about*: partitioning, phase structure, sharing pattern (all-to-all
+//! transpose, scattered permutation writes, nearest-neighbour stencils,
+//! Zipf-shared tree reads, streaming scans with hash-table build/probe),
+//! working-set sizes relative to the caches of Table 3, and
+//! synchronization (barriers and locks).
+//!
+//! Problem sizes scale with [`Scale`] so the full evaluation runs in
+//! minutes; memory pressure (the paper's swept parameter) is preserved by
+//! sizing machine memory from [`Workload::footprint_bytes`].
+
+pub mod apps;
+pub mod catalog;
+pub mod cold;
+pub mod kernels;
+pub mod layout;
+pub mod ops;
+
+pub use catalog::{build, build_dbase, dbase_table_bytes, AppId, Scale, ALL_APPS};
+pub use cold::WithColdData;
+pub use layout::{Layout, Region};
+pub use ops::{Batch, Op, PreloadKind, PreloadRegion, ThreadGen, Workload};

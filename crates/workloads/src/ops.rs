@@ -1,0 +1,326 @@
+//! The operation vocabulary threads feed to the machine.
+
+/// Up to 16 independent scattered addresses issued together — the size of
+/// the paper's load buffer (16 outstanding loads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    addrs: [u64; 16],
+    len: u8,
+}
+
+impl Batch {
+    /// Builds a batch from up to 16 addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or longer than 16.
+    pub fn new(addrs: &[u64]) -> Self {
+        assert!(
+            !addrs.is_empty() && addrs.len() <= 16,
+            "batch must hold 1..=16 addresses"
+        );
+        let mut a = [0u64; 16];
+        a[..addrs.len()].copy_from_slice(addrs);
+        Batch {
+            addrs: a,
+            len: addrs.len() as u8,
+        }
+    }
+
+    /// The addresses.
+    pub fn addrs(&self) -> &[u64] {
+        &self.addrs[..self.len as usize]
+    }
+
+    /// Number of addresses.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false by construction.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One operation of a thread's instruction stream.
+///
+/// Batched memory operations model the 4-issue out-of-order core of
+/// Table 1: the loads of a batch are independent, so the core overlaps
+/// their misses (the stall is the *max* of their completion times, with
+/// contention serializing shared resources), while a plain [`Op::Load`]
+/// is dependent and blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Execute `n` cycles of non-memory work.
+    Compute(u64),
+    /// A dependent load of one byte address.
+    Load(u64),
+    /// A store (retires through the write buffer).
+    Store(u64),
+    /// `count` independent loads at `base + i * stride`.
+    LoadBatch {
+        /// First byte address.
+        base: u64,
+        /// Stride in bytes.
+        stride: u32,
+        /// Number of loads.
+        count: u32,
+    },
+    /// `count` independent stores at `base + i * stride`.
+    StoreBatch {
+        /// First byte address.
+        base: u64,
+        /// Stride in bytes.
+        stride: u32,
+        /// Number of stores.
+        count: u32,
+    },
+    /// Independent scattered loads.
+    Gather(Batch),
+    /// Independent scattered stores.
+    Scatter(Batch),
+    /// Global barrier with an id (all threads of the workload must reach
+    /// it).
+    Barrier(u32),
+    /// Acquire lock `id`.
+    Lock(u32),
+    /// Release lock `id`.
+    Unlock(u32),
+    /// Computation-in-memory request (Section 2.4): ask the D-node homing
+    /// `chunk_addr` to scan `bytes` of data and return `reply_bytes` of
+    /// matching-record pointers. Only meaningful on AGG; other
+    /// architectures expand it to the equivalent local scan.
+    OffloadScan {
+        /// Address identifying the chunk (routes to its home D-node).
+        chunk_addr: u64,
+        /// Bytes the D-node must scan.
+        bytes: u64,
+        /// D-node processor cycles the scan handler runs for.
+        scan_cycles: u64,
+        /// Size of the reply (matching pointers).
+        reply_bytes: u32,
+    },
+}
+
+/// A lazily-evaluated per-thread operation stream.
+pub trait ThreadGen {
+    /// The next operation, or `None` when the thread is finished.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+/// A complete multi-threaded application model.
+pub trait Workload {
+    /// Application name (Table 3).
+    fn name(&self) -> &'static str;
+
+    /// Number of threads the model was built for.
+    fn threads(&self) -> usize;
+
+    /// Creates the generator for thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `tid >= threads()`.
+    fn spawn(&self, tid: usize) -> Box<dyn ThreadGen>;
+
+    /// Total bytes of application data (sizes machine memory for a target
+    /// memory pressure).
+    fn footprint_bytes(&self) -> u64;
+
+    /// L1 size in KiB for this application (Table 3).
+    fn l1_kb(&self) -> u64;
+
+    /// L2 size in KiB for this application (Table 3).
+    fn l2_kb(&self) -> u64;
+
+    /// Barrier id at which the machine may dynamically reconfigure
+    /// (Dbase's hash → join transition; `None` for single-phase apps).
+    fn reconfig_barrier(&self) -> Option<u32> {
+        None
+    }
+
+    /// How many threads arrive at barrier `id` (phased workloads whose
+    /// thread count changes mid-run override this; everyone else barriers
+    /// with all threads).
+    fn barrier_width(&self, _id: u32) -> usize {
+        self.threads()
+    }
+
+    /// Whether thread `tid` only starts after the dynamic reconfiguration
+    /// point (threads that exist only in the second phase of a grow-P
+    /// reconfiguration).
+    fn delayed_start(&self, _tid: usize) -> bool {
+        false
+    }
+
+    /// Byte regions that are populated before the measured region begins
+    /// (initialization data), each with the thread whose node would have
+    /// first-touched it. The machine installs them functionally — page
+    /// homes assigned, clean copies resident — without simulated time.
+    fn preload_regions(&self) -> Vec<PreloadRegion> {
+        Vec::new()
+    }
+}
+
+/// A byte range populated before the run starts, attributed to the thread
+/// that would have first-touched it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreloadRegion {
+    /// First byte address.
+    pub base: u64,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Thread whose node first-touched the data (e.g. 0 for serial
+    /// initialization).
+    pub owner_tid: usize,
+    /// How the data was left by initialization.
+    pub kind: PreloadKind,
+}
+
+/// How initialization left a preloaded line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreloadKind {
+    /// Written by its owner and not shared since: the owner's memory holds
+    /// it dirty (caching architectures) — the bulk of a real footprint.
+    ColdPrivate,
+    /// Initialized once and read-shared afterwards (tables, constants):
+    /// resides clean in backing memory, spread wherever init-time capacity
+    /// pushed it.
+    SharedInit,
+}
+
+/// Adapter turning a chunked refill closure into a [`ThreadGen`].
+///
+/// Generators produce one "iteration" worth of ops per refill call, which
+/// keeps per-thread memory bounded however long the run is.
+pub struct ChunkGen<R> {
+    refill: R,
+    buf: std::collections::VecDeque<Op>,
+    done: bool,
+}
+
+impl<R: FnMut(&mut Vec<Op>) -> bool> ChunkGen<R> {
+    /// Wraps `refill`, which appends the next chunk of ops and returns
+    /// `false` when the stream is exhausted.
+    pub fn new(refill: R) -> Self {
+        ChunkGen {
+            refill,
+            buf: std::collections::VecDeque::new(),
+            done: false,
+        }
+    }
+}
+
+impl<R: FnMut(&mut Vec<Op>) -> bool> ThreadGen for ChunkGen<R> {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return Some(op);
+            }
+            if self.done {
+                return None;
+            }
+            let mut v = Vec::new();
+            if !(self.refill)(&mut v) {
+                self.done = true;
+            }
+            self.buf.extend(v);
+            if self.buf.is_empty() && self.done {
+                return None;
+            }
+        }
+    }
+}
+
+/// Splits `total` items into `parts` nearly equal contiguous ranges and
+/// returns the `idx`-th as `(start, len)`.
+pub fn partition(total: u64, parts: usize, idx: usize) -> (u64, u64) {
+    let parts = parts as u64;
+    let idx = idx as u64;
+    let base = total / parts;
+    let rem = total % parts;
+    let len = base + u64::from(idx < rem);
+    let start = idx * base + idx.min(rem);
+    (start, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_holds_addresses() {
+        let b = Batch::new(&[1, 2, 3]);
+        assert_eq!(b.addrs(), &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn batch_rejects_oversize() {
+        Batch::new(&[0; 17]);
+    }
+
+    #[test]
+    fn chunkgen_streams_all_chunks() {
+        let mut n = 0;
+        let gen = ChunkGen::new(move |out: &mut Vec<Op>| {
+            if n == 3 {
+                return false;
+            }
+            out.push(Op::Compute(n));
+            n += 1;
+            true
+        });
+        let mut g = gen;
+        let mut seen = Vec::new();
+        while let Some(op) = g.next_op() {
+            seen.push(op);
+        }
+        assert_eq!(
+            seen,
+            vec![Op::Compute(0), Op::Compute(1), Op::Compute(2)]
+        );
+    }
+
+    #[test]
+    fn chunkgen_handles_final_chunk_with_ops() {
+        let mut first = true;
+        let mut g = ChunkGen::new(move |out: &mut Vec<Op>| {
+            if first {
+                first = false;
+                out.push(Op::Compute(7));
+                false // last chunk, but carries an op
+            } else {
+                false
+            }
+        });
+        assert_eq!(g.next_op(), Some(Op::Compute(7)));
+        assert_eq!(g.next_op(), None);
+    }
+
+    #[test]
+    fn partition_covers_everything() {
+        let total = 103u64;
+        let parts = 8;
+        let mut covered = 0;
+        let mut next_start = 0;
+        for i in 0..parts {
+            let (s, l) = partition(total, parts, i);
+            assert_eq!(s, next_start);
+            next_start = s + l;
+            covered += l;
+        }
+        assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn partition_balanced() {
+        for i in 0..7 {
+            let (_, l) = partition(100, 7, i);
+            assert!(l == 14 || l == 15);
+        }
+    }
+}

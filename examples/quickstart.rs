@@ -1,0 +1,43 @@
+//! Quickstart: build an AGG machine, run one application, read the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pimdsm::{ArchSpec, Machine};
+use pimdsm_proto::Level;
+use pimdsm_workloads::{build, AppId, Scale};
+
+fn main() {
+    // 8 application threads on 8 P-nodes, with 8 D-nodes running the
+    // coherence protocol in software (the paper's 1/1 ratio), at 75%
+    // memory pressure.
+    let workload = build(AppId::Fft, 8, Scale::ci());
+    let mut machine = Machine::build(ArchSpec::Agg { n_d: 8 }, workload, 0.75);
+    let report = machine.run();
+
+    println!("{}", report.summary());
+    println!();
+    println!("execution time : {} cycles", report.total_cycles);
+    println!("memory stall   : {:.1}%", report.memory_fraction() * 100.0);
+    println!("D-node busy    : {:.1}%", report.controller_util * 100.0);
+    println!();
+    println!("reads by satisfaction level:");
+    for level in Level::ALL {
+        let n = report.proto.reads_by_level[level.index()];
+        let lat = report.proto.read_latency_by_level[level.index()];
+        println!(
+            "  {:<8} {:>8} reads, avg {:>5} cycles",
+            level.label(),
+            n,
+            if n > 0 { lat / n } else { 0 }
+        );
+    }
+    println!();
+    let c = report.census;
+    println!("line-state census (Figure 8 quantities):");
+    println!("  dirty in P-node   : {}", c.dirty_in_p);
+    println!("  shared in P-node  : {}", c.shared_in_p);
+    println!("  D-node only       : {}", c.d_node_only);
+    println!("  D-node slots      : {}", c.d_slots);
+}

@@ -1,0 +1,73 @@
+//! Figure 8 (D-node memory utilization) invariants.
+
+use pimdsm::{ArchSpec, Machine};
+use pimdsm_proto::Census;
+use pimdsm_workloads::{build, AppId, Scale, ALL_APPS};
+
+fn census(app: AppId, pressure: f64) -> Census {
+    let w = build(app, 8, Scale::ci());
+    let mut m = Machine::build(ArchSpec::Agg { n_d: 2 }, w, pressure);
+    m.run().census
+}
+
+#[test]
+fn census_categories_are_disjoint_and_complete() {
+    for app in ALL_APPS {
+        let c = census(app, 0.75);
+        // Every mapped line is in exactly one category, so the total is
+        // consistent and none dominate impossibly.
+        assert!(c.total_lines() > 0, "{app:?}");
+        assert!(
+            c.shared_with_home_copy <= c.shared_in_p,
+            "{app:?}: shared-with-copy exceeds shared"
+        );
+        assert!(
+            c.d_node_only + c.shared_with_home_copy <= c.d_slots,
+            "{app:?}: more home copies than Data slots"
+        );
+    }
+}
+
+#[test]
+fn lower_pressure_leaves_more_unused_d_memory() {
+    // The paper: at 25% pressure ~75% of D-memory is unused; at 75%
+    // pressure D-Node-Only lines alone average ~50% of it. Directions,
+    // not exact numbers:
+    let hi = census(AppId::Fft, 0.75);
+    let lo = census(AppId::Fft, 0.25);
+    let unused_frac = |c: &Census| c.unused_slots() as f64 / c.d_slots as f64;
+    assert!(
+        unused_frac(&lo) > unused_frac(&hi),
+        "unused D-memory should grow as pressure drops: {:.2} vs {:.2}",
+        unused_frac(&lo),
+        unused_frac(&hi)
+    );
+}
+
+#[test]
+fn dirty_lines_keep_no_home_place_holder() {
+    // Write-heavy kernel: most lines end dirty-in-P, and the census can
+    // never count more home copies than slots even then.
+    let w = Box::new(pimdsm_workloads::kernels::PrivateStream::new(4, 64 * 1024, 1));
+    let mut m = Machine::build(ArchSpec::Agg { n_d: 2 }, w, 0.5);
+    let r = m.run();
+    let c = r.census;
+    assert!(c.d_node_only + c.shared_with_home_copy <= c.d_slots);
+    m.agg().check_invariants();
+}
+
+#[test]
+fn pressure_sweep_matches_fig8_direction() {
+    // D-Node-Only share of D-memory shrinks as pressure drops (fewer
+    // mapped lines per slot).
+    let mut previous = f64::INFINITY;
+    for pressure in [0.75, 0.5, 0.25] {
+        let c = census(AppId::Ocean, pressure);
+        let share = c.d_node_only as f64 / c.d_slots as f64;
+        assert!(
+            share <= previous + 0.05,
+            "D-Node-Only share should not grow as pressure drops"
+        );
+        previous = share;
+    }
+}

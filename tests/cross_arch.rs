@@ -1,0 +1,85 @@
+//! Cross-architecture integration matrix: every application completes on
+//! every machine organization, with sane statistics.
+
+use pimdsm::{ArchSpec, Machine, RunReport};
+use pimdsm_workloads::{build, Scale, ALL_APPS};
+
+fn run(spec: ArchSpec, app: pimdsm_workloads::AppId, threads: usize, pressure: f64) -> RunReport {
+    let w = build(app, threads, Scale::ci());
+    Machine::build(spec, w, pressure).run()
+}
+
+#[test]
+fn every_app_completes_on_every_architecture() {
+    for app in ALL_APPS {
+        for spec in [
+            ArchSpec::Numa,
+            ArchSpec::Coma,
+            ArchSpec::Agg { n_d: 8 },
+            ArchSpec::Agg { n_d: 2 },
+        ] {
+            let r = run(spec, app, 8, 0.75);
+            assert!(r.total_cycles > 0, "{app:?} on {spec:?} did no work");
+            assert_eq!(r.threads.len(), 8);
+            assert!(
+                r.threads.iter().all(|t| t.finish > 0),
+                "{app:?} on {spec:?}: unfinished threads"
+            );
+            assert!(
+                r.proto.total_reads() > 0,
+                "{app:?} on {spec:?}: no reads recorded"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_app_completes_at_low_pressure() {
+    for app in ALL_APPS {
+        let r = run(ArchSpec::Agg { n_d: 4 }, app, 4, 0.25);
+        assert!(r.total_cycles > 0, "{app:?}");
+    }
+}
+
+#[test]
+fn thread_accounting_is_consistent() {
+    for spec in [ArchSpec::Numa, ArchSpec::Coma, ArchSpec::Agg { n_d: 4 }] {
+        let r = run(spec, pimdsm_workloads::AppId::Ocean, 4, 0.75);
+        for (i, t) in r.threads.iter().enumerate() {
+            // Nothing a thread did can exceed the run length.
+            assert!(
+                t.finish <= r.total_cycles,
+                "{spec:?} thread {i} finished after the run ended"
+            );
+            assert!(
+                t.compute + t.memory + t.sync <= t.finish + 1,
+                "{spec:?} thread {i}: accounted time {} exceeds finish {}",
+                t.compute + t.memory + t.sync,
+                t.finish
+            );
+        }
+    }
+}
+
+#[test]
+fn read_level_counts_sum_to_total_reads() {
+    let r = run(ArchSpec::Agg { n_d: 8 }, pimdsm_workloads::AppId::Fft, 8, 0.75);
+    let sum: u64 = r.proto.reads_by_level.iter().sum();
+    assert_eq!(sum, r.proto.total_reads());
+    // Latency sums only where reads exist.
+    for i in 0..5 {
+        if r.proto.reads_by_level[i] == 0 {
+            assert_eq!(r.proto.read_latency_by_level[i], 0);
+        }
+    }
+}
+
+#[test]
+fn agg_invariants_hold_after_full_runs() {
+    for app in ALL_APPS {
+        let w = build(app, 6, Scale::ci());
+        let mut m = Machine::build(ArchSpec::Agg { n_d: 3 }, w, 0.75);
+        m.run();
+        m.agg().check_invariants();
+    }
+}

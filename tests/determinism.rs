@@ -1,0 +1,60 @@
+//! The simulator is deterministic: identical configurations produce
+//! bit-identical statistics, across all architectures.
+
+use pimdsm::{ArchSpec, Machine, RunReport};
+use pimdsm_workloads::{build, AppId, Scale};
+
+fn run(spec: ArchSpec, app: AppId) -> RunReport {
+    Machine::build(spec, build(app, 6, Scale::ci()), 0.75).run()
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.total_cycles, b.total_cycles, "{what}: total cycles");
+    assert_eq!(
+        a.proto.reads_by_level, b.proto.reads_by_level,
+        "{what}: read levels"
+    );
+    assert_eq!(
+        a.proto.read_latency_by_level, b.proto.read_latency_by_level,
+        "{what}: read latencies"
+    );
+    assert_eq!(a.net.messages, b.net.messages, "{what}: messages");
+    assert_eq!(a.net.total_queueing, b.net.total_queueing, "{what}: queueing");
+    for (x, y) in a.threads.iter().zip(&b.threads) {
+        assert_eq!(x, y, "{what}: thread accounting");
+    }
+}
+
+#[test]
+fn numa_runs_are_reproducible() {
+    assert_identical(
+        &run(ArchSpec::Numa, AppId::Radix),
+        &run(ArchSpec::Numa, AppId::Radix),
+        "NUMA/Radix",
+    );
+}
+
+#[test]
+fn coma_runs_are_reproducible() {
+    assert_identical(
+        &run(ArchSpec::Coma, AppId::Barnes),
+        &run(ArchSpec::Coma, AppId::Barnes),
+        "COMA/Barnes",
+    );
+}
+
+#[test]
+fn agg_runs_are_reproducible() {
+    assert_identical(
+        &run(ArchSpec::Agg { n_d: 3 }, AppId::Dbase),
+        &run(ArchSpec::Agg { n_d: 3 }, AppId::Dbase),
+        "AGG/Dbase",
+    );
+}
+
+#[test]
+fn census_is_reproducible() {
+    let a = run(ArchSpec::Agg { n_d: 2 }, AppId::Ocean).census;
+    let b = run(ArchSpec::Agg { n_d: 2 }, AppId::Ocean).census;
+    assert_eq!(a, b);
+}

@@ -1,0 +1,57 @@
+//! Dynamic reconfiguration (Section 2.3 / Figure 10-(a)) integration
+//! tests.
+
+use pimdsm::{ArchSpec, Machine, ReconfigPlan};
+use pimdsm_workloads::{build_dbase, Scale};
+
+#[test]
+fn grow_p_reconfiguration_completes_and_charges_overhead() {
+    let w = build_dbase(4, 8, Scale::ci(), false);
+    let mut m = Machine::build(ArchSpec::Agg { n_d: 8 }, w, 0.75);
+    m.set_reconfig(ReconfigPlan::paper(8, 4));
+    let r = m.run();
+    assert!(r.reconfig_cycles >= 100_000, "base overhead must be paid");
+    assert!(r.threads.iter().all(|t| t.finish > 0));
+    assert_eq!(m.agg().p_nodes().len(), 8);
+    assert_eq!(m.agg().d_nodes().len(), 4);
+    m.agg().check_invariants();
+}
+
+#[test]
+fn shrink_p_reconfiguration_completes() {
+    let w = build_dbase(8, 4, Scale::ci(), false);
+    let mut m = Machine::build(ArchSpec::Agg { n_d: 4 }, w, 0.75);
+    m.set_reconfig(ReconfigPlan::paper(4, 8));
+    let r = m.run();
+    assert!(r.reconfig_cycles > 0);
+    assert_eq!(m.agg().p_nodes().len(), 4);
+    assert_eq!(m.agg().d_nodes().len(), 8);
+    m.agg().check_invariants();
+}
+
+#[test]
+fn reconfigured_run_matches_static_work() {
+    // The dynamic machine does the same application work; its protocol
+    // read count stays in the same ballpark as the static 8P run.
+    let w = build_dbase(8, 8, Scale::ci(), false);
+    let r_static = Machine::build(ArchSpec::Agg { n_d: 4 }, w, 0.75).run();
+
+    let w = build_dbase(4, 8, Scale::ci(), false);
+    let mut m = Machine::build(ArchSpec::Agg { n_d: 8 }, w, 0.75);
+    m.set_reconfig(ReconfigPlan::paper(8, 4));
+    let r_dyn = m.run();
+
+    let a = r_static.proto.total_reads() as f64;
+    let b = r_dyn.proto.total_reads() as f64;
+    assert!(
+        (0.5..2.0).contains(&(b / a)),
+        "read volumes diverge: static {a}, dynamic {b}"
+    );
+}
+
+#[test]
+fn without_plan_no_overhead_is_charged() {
+    let w = build_dbase(4, 4, Scale::ci(), false);
+    let r = Machine::build(ArchSpec::Agg { n_d: 4 }, w, 0.75).run();
+    assert_eq!(r.reconfig_cycles, 0);
+}
