@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use pimdsm_proto::{
-    AggCfg, AggSystem, ComaCfg, ComaSystem, MemSystem, NumaCfg, NumaSystem,
-};
+use pimdsm_proto::{AggCfg, AggSystem, ComaCfg, ComaSystem, MemSystem, NumaCfg, NumaSystem};
 
 fn numa(c: &mut Criterion) {
     c.bench_function("proto/numa_read_stream", |b| {

@@ -4,11 +4,12 @@
 //! master lines they trigger) respond to the organization.
 
 use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads};
+use pimdsm_bench::{default_scale, default_threads, Obs};
 use pimdsm_mem::CacheCfg;
 use pimdsm_workloads::{build, AppId};
 
 fn main() {
+    let mut obs = Obs::from_args("ablation_assoc");
     let threads = default_threads();
     let scale = default_scale();
     println!("Ablation: attraction-memory organization (Swim, 1/1 ratio, 75% pressure)\n");
@@ -33,8 +34,9 @@ fn main() {
             }
             cfg.p_am = am;
             cfg.p_onchip_lines = rounded / 2;
-        });
-        let r = m.run();
+        })
+        .with_label(label);
+        let r = obs.run_machine(&mut m, &format!("Swim:{label}"));
         println!(
             "{:<22} {:>14} {:>12} {:>10}",
             label,
@@ -43,4 +45,5 @@ fn main() {
             r.proto.reads_by_level[pimdsm_proto::Level::Hop2.index()]
         );
     }
+    obs.finish();
 }

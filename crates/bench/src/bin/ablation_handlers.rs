@@ -4,10 +4,11 @@
 //! choice actually costs AGG on a D-node-intensive application.
 
 use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads};
+use pimdsm_bench::{default_scale, default_threads, Obs};
 use pimdsm_workloads::{build, AppId};
 
 fn main() {
+    let mut obs = Obs::from_args("ablation_handlers");
     let threads = default_threads();
     let scale = default_scale();
     println!("Ablation: AGG handler-cost sensitivity (Dbase, 1/2 ratio, 75% pressure)\n");
@@ -17,8 +18,9 @@ fn main() {
         let w = build(AppId::Dbase, threads, scale);
         let mut m = Machine::build_custom_agg(w, 0.75, (threads / 2).max(1), |cfg| {
             cfg.handler = cfg.handler.scaled(factor);
-        });
-        let r = m.run();
+        })
+        .with_label(format!("{factor:.1}x"));
+        let r = obs.run_machine(&mut m, &format!("Dbase:{factor:.1}x"));
         let b = *base.get_or_insert(r.total_cycles);
         println!(
             "{:<10} {:>14} {:>10.3}",
@@ -28,4 +30,5 @@ fn main() {
         );
     }
     println!("\n(0.7x is the hardware-controller cost the paper grants NUMA and COMA)");
+    obs.finish();
 }

@@ -4,10 +4,11 @@
 //! that on our simulator.
 
 use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads};
+use pimdsm_bench::{default_scale, default_threads, Obs};
 use pimdsm_workloads::{build, AppId};
 
 fn main() {
+    let mut obs = Obs::from_args("ablation_onchip");
     let threads = default_threads();
     let scale = default_scale();
     println!("Ablation: on-chip fraction of P-node memory (Swim, 1/1 ratio, 75% pressure)\n");
@@ -17,8 +18,9 @@ fn main() {
         let w = build(AppId::Swim, threads, scale);
         let mut m = Machine::build_custom_agg(w, 0.75, threads, |cfg| {
             cfg.p_onchip_lines = cfg.p_am.capacity_lines() * pct / 100;
-        });
-        let r = m.run();
+        })
+        .with_label(format!("{pct}% on-chip"));
+        let r = obs.run_machine(&mut m, &format!("Swim:{pct}%"));
         let b = *base.get_or_insert(r.total_cycles);
         println!(
             "{:<12} {:>14} {:>10.3}",
@@ -27,5 +29,8 @@ fn main() {
             r.total_cycles as f64 / b as f64
         );
     }
-    println!("\n(paper: \"the fraction of local memory that is on-chip has only a modest impact\")");
+    println!(
+        "\n(paper: \"the fraction of local memory that is on-chip has only a modest impact\")"
+    );
+    obs.finish();
 }

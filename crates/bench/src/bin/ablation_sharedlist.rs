@@ -5,10 +5,11 @@
 //! line is re-requested).
 
 use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads};
+use pimdsm_bench::{default_scale, default_threads, Obs};
 use pimdsm_workloads::{build, AppId};
 
 fn main() {
+    let mut obs = Obs::from_args("ablation_sharedlist");
     let threads = default_threads();
     let scale = default_scale();
     println!("Ablation: D-node SharedList reclamation (Barnes, 1/2 ratio, 90% pressure)\n");
@@ -16,12 +17,16 @@ fn main() {
         "{:<26} {:>14} {:>10} {:>12} {:>10}",
         "policy", "total cycles", "3hop", "page-outs", "faults"
     );
-    for (label, reuse) in [("reuse SharedList (paper)", true), ("no reuse (page out)", false)] {
+    for (label, reuse) in [
+        ("reuse SharedList (paper)", true),
+        ("no reuse (page out)", false),
+    ] {
         let w = build(AppId::Barnes, threads, scale);
         let mut m = Machine::build_custom_agg(w, 0.9, (threads / 2).max(1), |cfg| {
             cfg.dnode.reuse_shared_list = reuse;
-        });
-        let r = m.run();
+        })
+        .with_label(label);
+        let r = obs.run_machine(&mut m, &format!("Barnes:{label}"));
         println!(
             "{:<26} {:>14} {:>10} {:>12} {:>10}",
             label,
@@ -37,4 +42,5 @@ fn main() {
          dirty-in-P lines freeing their home slots, the SharedList is rarely — here
          never — actually reclaimed, so discouraging its reuse costs nothing)"
     );
+    obs.finish();
 }

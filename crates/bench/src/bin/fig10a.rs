@@ -4,10 +4,11 @@
 //! phase boundary, paying the paper's reconfiguration overhead model.
 
 use pimdsm::{Machine, ReconfigPlan};
-use pimdsm_bench::default_scale;
+use pimdsm_bench::{default_scale, Obs};
 use pimdsm_workloads::build_dbase;
 
 fn main() {
+    let mut obs = Obs::from_args("fig10a");
     let scale = default_scale();
     println!("Figure 10-(a): Dbase on a 32-node AGG machine, 75% pressure");
     println!("(every D-capable node carries the paper's 4x \"fatter\" memory, Fig. 2-(b))\n");
@@ -29,7 +30,8 @@ fn main() {
 
     // Static 16P & 16D.
     let w = build_dbase(16, 16, scale, false);
-    let r_16 = Machine::build_custom_agg(w, 0.75, 16, fatten(16)).run();
+    let mut m = Machine::build_custom_agg(w, 0.75, 16, fatten(16)).with_label("static 16P&16D");
+    let r_16 = obs.run_machine(&mut m, "Dbase:static16&16");
     println!(
         "{:<22} {:>14} {:>12} {:>10}",
         "static 16P & 16D", r_16.total_cycles, "1.000", "-"
@@ -37,7 +39,8 @@ fn main() {
 
     // Static 28P & 4D.
     let w = build_dbase(28, 28, scale, false);
-    let r_28 = Machine::build_custom_agg(w, 0.75, 4, fatten(4)).run();
+    let mut m = Machine::build_custom_agg(w, 0.75, 4, fatten(4)).with_label("static 28P&4D");
+    let r_28 = obs.run_machine(&mut m, "Dbase:static28&4");
     println!(
         "{:<22} {:>14} {:>12.3} {:>10}",
         "static 28P & 4D",
@@ -48,9 +51,10 @@ fn main() {
 
     // Dynamic: hash at 16&16, reconfigure to 28&4 for the join.
     let w = build_dbase(16, 28, scale, false);
-    let mut m = Machine::build_custom_agg(w, 0.75, 16, fatten(16));
+    let mut m =
+        Machine::build_custom_agg(w, 0.75, 16, fatten(16)).with_label("dynamic 16&16->28&4");
     m.set_reconfig(ReconfigPlan::paper(28, 4));
-    let r_dyn = m.run();
+    let r_dyn = obs.run_machine(&mut m, "Dbase:dynamic");
     println!(
         "{:<22} {:>14} {:>12.3} {:>10}",
         "dynamic 16&16 -> 28&4",
@@ -65,4 +69,5 @@ fn main() {
         "\ndynamic reconfiguration vs best static: {gain:+.1}% \
          (paper reports a 14% reduction)"
     );
+    obs.finish();
 }

@@ -4,10 +4,11 @@
 //! join. Compared for several P&D combinations.
 
 use pimdsm::{ArchSpec, Machine};
-use pimdsm_bench::default_scale;
+use pimdsm_bench::{default_scale, Obs};
 use pimdsm_workloads::build_dbase;
 
 fn main() {
+    let mut obs = Obs::from_args("fig10b");
     let scale = default_scale();
     println!("Figure 10-(b): Dbase with computation in memory (AGG, 75% pressure)\n");
     println!(
@@ -15,18 +16,20 @@ fn main() {
         "P & D", "Plain", "Opt", "reduction"
     );
     for (p, d) in [(16usize, 16usize), (24, 8), (28, 4)] {
-        let plain = Machine::build(
+        let mut m = Machine::build(
             ArchSpec::Agg { n_d: d },
             build_dbase(p, p, scale, false),
             0.75,
         )
-        .run();
-        let opt = Machine::build(
+        .with_label(format!("{p}P&{d}D plain"));
+        let plain = obs.run_machine(&mut m, &format!("Dbase:{p}P&{d}D:plain"));
+        let mut m = Machine::build(
             ArchSpec::Agg { n_d: d },
             build_dbase(p, p, scale, true),
             0.75,
         )
-        .run();
+        .with_label(format!("{p}P&{d}D opt"));
+        let opt = obs.run_machine(&mut m, &format!("Dbase:{p}P&{d}D:opt"));
         println!(
             "{:<12} {:>14} {:>14} {:>11.1}%",
             format!("{p}P & {d}D"),
@@ -36,4 +39,5 @@ fn main() {
         );
     }
     println!("\n(paper reports ~70% reduction across configurations)");
+    obs.finish();
 }

@@ -2,11 +2,12 @@
 //! the level that satisfied them (FLC / SLC / Memory / 2Hop / 3Hop),
 //! normalized to NUMA.
 
-use pimdsm_bench::{default_scale, default_threads, fig6_configs, run_config};
+use pimdsm_bench::{default_scale, default_threads, fig6_configs, run_config_obs, Obs};
 use pimdsm_proto::Level;
 use pimdsm_workloads::ALL_APPS;
 
 fn main() {
+    let mut obs = Obs::from_args("fig7");
     let threads = default_threads();
     let scale = default_scale();
     println!("Figure 7: aggregated read latency by satisfaction level, normalized to NUMA\n");
@@ -18,7 +19,7 @@ fn main() {
         );
         let mut base = None;
         for cfg in fig6_configs(app) {
-            let r = run_config(app, threads, scale, cfg);
+            let r = run_config_obs(app, threads, scale, cfg, &mut obs);
             let lat = r.read_latency_by_level();
             let total: u64 = lat.iter().sum();
             let b = *base.get_or_insert(total.max(1)) as f64;
@@ -30,4 +31,5 @@ fn main() {
         }
         println!();
     }
+    obs.finish();
 }

@@ -4,10 +4,11 @@
 //! D-node storage is 100.
 
 use pimdsm::{ArchSpec, Machine};
-use pimdsm_bench::{default_scale, default_threads, reduced_ratio};
+use pimdsm_bench::{default_scale, default_threads, reduced_ratio, Obs};
 use pimdsm_workloads::{build, ALL_APPS};
 
 fn main() {
+    let mut obs = Obs::from_args("fig8");
     let threads = default_threads();
     let scale = default_scale();
     println!("Figure 8: state of memory lines, normalized to D-node storage = 100");
@@ -19,8 +20,12 @@ fn main() {
         for pressure in [0.75, 0.5, 0.25] {
             let n_d = (threads / reduced_ratio(app)).max(1);
             let w = build(app, threads, scale);
-            let mut m = Machine::build(ArchSpec::Agg { n_d }, w, pressure);
-            let r = m.run();
+            let mut m = Machine::build(ArchSpec::Agg { n_d }, w, pressure)
+                .with_label(format!("AGG{}", (pressure * 100.0) as u32));
+            let r = obs.run_machine(
+                &mut m,
+                &format!("{}:AGG{}", app.name(), (pressure * 100.0) as u32),
+            );
             let c = r.census;
             let norm = |x: u64| 100.0 * x as f64 / c.d_slots.max(1) as f64;
             println!(
@@ -38,4 +43,5 @@ fn main() {
     }
     println!("(DirtyInP lines keep no home place holder; SharedInP lines may share their");
     println!(" slot via the SharedList; negative Unused means SharedList slots were reused)");
+    obs.finish();
 }

@@ -3,10 +3,11 @@
 //! (static reconfigurability, Section 4.2).
 
 use pimdsm::{config, ArchSpec, Machine};
-use pimdsm_bench::default_scale;
+use pimdsm_bench::{default_scale, Obs};
 use pimdsm_workloads::{build, ALL_APPS};
 
 fn main() {
+    let mut obs = Obs::from_args("fig9");
     let scale = default_scale();
     let p_counts = [2usize, 4, 8, 16, 32];
     let d_counts = [2usize, 4, 8, 16];
@@ -42,12 +43,14 @@ fn main() {
                     },
                     w,
                     0.75,
-                );
-                let r = m.run();
+                )
+                .with_label(format!("{p}P&{d}D"));
+                let r = obs.run_machine(&mut m, &format!("{}:{}P&{}D", app.name(), p, d));
                 print!(" {:>12}", r.total_cycles);
             }
             println!();
         }
         println!();
     }
+    obs.finish();
 }

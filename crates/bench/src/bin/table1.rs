@@ -2,8 +2,10 @@
 //! latencies, paper vs. measured on this simulator.
 
 use pimdsm::calibration::{measure, PAPER};
+use pimdsm_bench::Obs;
 
 fn main() {
+    let obs = Obs::from_args("table1");
     let m = measure();
     println!("Table 1: uncontended round-trip latencies (CPU cycles)");
     println!("{:<28} {:>8} {:>10}", "device", "paper", "measured");
@@ -19,4 +21,5 @@ fn main() {
         let delta = 100.0 * (measured as f64 - paper as f64) / paper as f64;
         println!("{name:<28} {paper:>8} {measured:>10}   ({delta:+.1}%)");
     }
+    obs.finish();
 }

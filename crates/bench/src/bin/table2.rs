@@ -2,13 +2,21 @@
 //! handlers, for the AGG software implementation and the hardware
 //! controllers of NUMA/COMA (70% of software, per Section 3).
 
+use pimdsm_bench::Obs;
 use pimdsm_proto::{ControllerKind, HandlerCosts, HandlerKind};
 
 fn main() {
+    let obs = Obs::from_args("table2");
     println!("Table 2: protocol handler costs (processor cycles)");
     for (label, kind) in [
-        ("AGG (software handlers on D-node processors)", ControllerKind::Software),
-        ("NUMA/COMA (custom hardware controllers, 70%)", ControllerKind::Hardware),
+        (
+            "AGG (software handlers on D-node processors)",
+            ControllerKind::Software,
+        ),
+        (
+            "NUMA/COMA (custom hardware controllers, 70%)",
+            ControllerKind::Hardware,
+        ),
     ] {
         let c = HandlerCosts::paper(kind);
         println!("\n{label}");
@@ -25,4 +33,5 @@ fn main() {
         let (l, o) = c.cost(HandlerKind::WriteBack, 0);
         println!("{:<18} {:>8} {:>22}", "Write Back", l, o);
     }
+    obs.finish();
 }

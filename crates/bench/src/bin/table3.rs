@@ -1,10 +1,11 @@
 //! Regenerates Table 3: the applications, their paper problem sizes, their
 //! cache configurations, and the scaled sizes this harness actually runs.
 
-use pimdsm_bench::{default_scale, default_threads};
+use pimdsm_bench::{default_scale, default_threads, Obs};
 use pimdsm_workloads::{build, ALL_APPS};
 
 fn main() {
+    let obs = Obs::from_args("table3");
     let scale = default_scale();
     let threads = default_threads();
     println!("Table 3: applications (scaled footprints at the current scale, {threads} threads)");
@@ -24,7 +25,12 @@ fn main() {
             w.footprint_bytes() / 1024
         );
     }
-    println!("\n(paper problem sizes are scaled by 1/{} and iteration counts by 1/{};",
-        scale.size_div, scale.iter_div);
-    println!(" memory pressure is preserved because machine DRAM is sized from the scaled footprint)");
+    println!(
+        "\n(paper problem sizes are scaled by 1/{} and iteration counts by 1/{};",
+        scale.size_div, scale.iter_div
+    );
+    println!(
+        " memory pressure is preserved because machine DRAM is sized from the scaled footprint)"
+    );
+    obs.finish();
 }

@@ -15,9 +15,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use pimdsm_engine::{Cycle, EventQueue};
-use pimdsm_proto::{
-    AggSystem, ComaSystem, MemSystem, NodeId, NumaSystem,
-};
+use pimdsm_obs::{trace::track, EpochSampler, Tracer};
+use pimdsm_proto::{AggSystem, ComaSystem, MemSystem, NodeId, NumaSystem};
 use pimdsm_workloads::{Op, ThreadGen, Workload};
 
 use crate::config::{resolve, ArchSpec};
@@ -126,6 +125,8 @@ pub struct Machine {
     reconfig: Option<ReconfigPlan>,
     reconfig_cycles: Cycle,
     label: String,
+    tracer: Tracer,
+    epoch: Option<Cycle>,
 }
 
 impl Machine {
@@ -204,9 +205,7 @@ impl Machine {
                 pimdsm_workloads::PreloadKind::ColdPrivate => {
                     pimdsm_proto::PreloadKind::ColdPrivate
                 }
-                pimdsm_workloads::PreloadKind::SharedInit => {
-                    pimdsm_proto::PreloadKind::SharedInit
-                }
+                pimdsm_workloads::PreloadKind::SharedInit => pimdsm_proto::PreloadKind::SharedInit,
             };
             let sys = self.system.sys();
             let mut addr = r.base;
@@ -241,7 +240,11 @@ impl Machine {
                 node,
                 acct: ThreadAcct::default(),
                 wb: VecDeque::with_capacity(WRITE_BUFFER_ENTRIES),
-                status: if delayed { Status::Delayed } else { Status::Ready },
+                status: if delayed {
+                    Status::Delayed
+                } else {
+                    Status::Ready
+                },
             });
         }
         // Locks live past the end of the data footprint, page-aligned.
@@ -257,6 +260,8 @@ impl Machine {
             reconfig: None,
             reconfig_cycles: 0,
             label,
+            tracer: Tracer::disabled(),
+            epoch: None,
         }
     }
 
@@ -264,6 +269,23 @@ impl Machine {
     pub fn with_label(mut self, label: impl Into<String>) -> Machine {
         self.label = label.into();
         self
+    }
+
+    /// Attaches a [`Tracer`]; an enabled tracer records structured events
+    /// (protocol handler occupancy, attraction-memory hits/misses/swaps,
+    /// link transfers, reconfiguration) for Chrome-trace export. The
+    /// default disabled tracer makes every emission site a single branch.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.system.sys().attach_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Enables epoch metrics sampling: every `epoch` cycles the run loop
+    /// snapshots the memory system's cumulative counters and the finished
+    /// [`RunReport`] carries the per-epoch time-series in
+    /// [`RunReport::epochs`].
+    pub fn sample_epochs(&mut self, epoch: Cycle) {
+        self.epoch = Some(epoch.max(1));
     }
 
     /// Schedules a dynamic reconfiguration at the workload's
@@ -297,7 +319,14 @@ impl Machine {
                 self.queue.push(0, tid);
             }
         }
+        let mut sampler = self.epoch.map(EpochSampler::new);
         while let Some((now, tid)) = self.queue.pop() {
+            if let Some(s) = &mut sampler {
+                if s.due(now) {
+                    let probe = self.system.sys_ref().epoch_probe();
+                    s.sample(now, &probe);
+                }
+            }
             self.step(tid, now);
         }
         let parked: Vec<usize> = self
@@ -312,7 +341,13 @@ impl Machine {
             "deadlock: threads {parked:?} never finished (barrier/lock mismatch)"
         );
 
-        let total = self.threads.iter().map(|t| t.acct.finish).max().unwrap_or(0);
+        let total = self
+            .threads
+            .iter()
+            .map(|t| t.acct.finish)
+            .max()
+            .unwrap_or(0);
+        let epochs = sampler.map(|s| s.finish(total, &self.system.sys_ref().epoch_probe()));
         RunReport {
             arch: self.system.sys_ref().name().to_string(),
             app: self.workload.name().to_string(),
@@ -325,6 +360,7 @@ impl Machine {
             controller_util: self.system.sys_ref().controller_utilization(total),
             link_busy: self.system.sys_ref().net_link_busy(),
             reconfig_cycles: self.reconfig_cycles,
+            epochs,
         }
     }
 
@@ -361,7 +397,11 @@ impl Machine {
                 self.charge_load(tid, now, acc.done_at);
                 self.queue.push(acc.done_at, tid);
             }
-            Op::LoadBatch { base, stride, count } => {
+            Op::LoadBatch {
+                base,
+                stride,
+                count,
+            } => {
                 let done = self.exec_load_window(tid, now, |i| base + stride as u64 * i, count);
                 self.queue.push(done, tid);
             }
@@ -375,7 +415,11 @@ impl Machine {
                 let t = self.exec_store(tid, now, a);
                 self.queue.push(t + 1, tid);
             }
-            Op::StoreBatch { base, stride, count } => {
+            Op::StoreBatch {
+                base,
+                stride,
+                count,
+            } => {
                 let mut t = now;
                 for i in 0..count as u64 {
                     t = self.exec_store(tid, t, base + stride as u64 * i) + 1;
@@ -510,6 +554,14 @@ impl Machine {
                 self.reconfig_cycles += release_at - now;
             }
         }
+        self.tracer.instant(
+            track::MACHINE,
+            0,
+            "barrier",
+            "machine.barrier",
+            release_at,
+            &[("id", id as u64), ("width", width as u64)],
+        );
         for (t, arrived) in waiting {
             self.threads[t].acct.sync += release_at - arrived;
             self.threads[t].status = Status::Ready;
@@ -575,9 +627,9 @@ impl Machine {
             let mut it = new_nodes.into_iter();
             for thread in &mut self.threads {
                 if thread.status == Status::Delayed && thread.node == usize::MAX {
-                    thread.node = it.next().unwrap_or_else(|| {
-                        panic!("not enough new P-nodes for delayed threads")
-                    });
+                    thread.node = it
+                        .next()
+                        .unwrap_or_else(|| panic!("not enough new P-nodes for delayed threads"));
                 }
             }
         } else if plan.target_d > cur_d {
@@ -600,6 +652,19 @@ impl Machine {
 
         t += pages_moved.div_ceil(10) * plan.per_10_pages;
         t += plan.tlb_per_p * plan.target_p as Cycle;
+        self.tracer.span(
+            track::MACHINE,
+            0,
+            "reconfig",
+            "machine.reconfig",
+            now,
+            (t - now).max(1),
+            &[
+                ("target_p", plan.target_p as u64),
+                ("target_d", plan.target_d as u64),
+                ("pages_moved", pages_moved),
+            ],
+        );
         t
     }
 

@@ -2,6 +2,7 @@
 
 use pimdsm_engine::Cycle;
 use pimdsm_net::NetStats;
+use pimdsm_obs::EpochSeries;
 use pimdsm_proto::{Census, Level, ProtoStats};
 
 /// Per-thread time accounting.
@@ -56,6 +57,9 @@ pub struct RunReport {
     pub link_busy: (Cycle, Cycle),
     /// Cycles spent in dynamic reconfiguration (Figure 10-(a)), if any.
     pub reconfig_cycles: Cycle,
+    /// Epoch-sampled metric time-series, when sampling was enabled
+    /// ([`Machine::sample_epochs`](crate::Machine::sample_epochs)).
+    pub epochs: Option<EpochSeries>,
 }
 
 impl RunReport {
@@ -104,6 +108,53 @@ impl RunReport {
     }
 }
 
+impl pimdsm_obs::ToJson for ThreadAcct {
+    fn to_json(&self) -> pimdsm_obs::JsonValue {
+        use pimdsm_obs::JsonValue;
+        JsonValue::obj([
+            ("compute", JsonValue::u64(self.compute)),
+            ("memory", JsonValue::u64(self.memory)),
+            ("sync", JsonValue::u64(self.sync)),
+            ("finish", JsonValue::u64(self.finish)),
+        ])
+    }
+}
+
+impl pimdsm_obs::ToJson for RunReport {
+    fn to_json(&self) -> pimdsm_obs::JsonValue {
+        use pimdsm_obs::JsonValue;
+        let mut fields = vec![
+            ("arch", JsonValue::str(self.arch.as_str())),
+            ("app", JsonValue::str(self.app.as_str())),
+            ("label", JsonValue::str(self.label.as_str())),
+            ("total_cycles", JsonValue::u64(self.total_cycles)),
+            (
+                "threads",
+                JsonValue::arr(self.threads.iter().map(|t| t.to_json())),
+            ),
+            ("proto", self.proto.to_json()),
+            ("census", self.census.to_json()),
+            ("net", self.net.to_json()),
+            ("controller_util", JsonValue::num(self.controller_util)),
+            (
+                "link_busy",
+                JsonValue::obj([
+                    ("total", JsonValue::u64(self.link_busy.0)),
+                    ("max_per_link", JsonValue::u64(self.link_busy.1)),
+                ]),
+            ),
+            ("reconfig_cycles", JsonValue::u64(self.reconfig_cycles)),
+            ("memory_time", JsonValue::num(self.memory_time())),
+            ("processor_time", JsonValue::num(self.processor_time())),
+            ("memory_fraction", JsonValue::num(self.memory_fraction())),
+        ];
+        if let Some(e) = &self.epochs {
+            fields.push(("epochs", e.to_json()));
+        }
+        JsonValue::obj(fields)
+    }
+}
+
 fn mean(iter: impl Iterator<Item = Cycle>) -> f64 {
     let mut sum = 0u64;
     let mut n = 0u64;
@@ -135,6 +186,7 @@ mod tests {
             controller_util: 0.0,
             link_busy: (0, 0),
             reconfig_cycles: 0,
+            epochs: None,
         }
     }
 

@@ -2,8 +2,23 @@
 
 /// A power-of-two bucketed histogram of cycle counts.
 ///
-/// Bucket `i` holds samples in `[2^i, 2^(i+1))`, with bucket 0 holding 0
-/// and 1. Useful for latency distributions without storing every sample.
+/// # Bucket indexing
+///
+/// The bucket layout is fixed and part of the public API:
+///
+/// * `buckets()[0]` holds samples with value **0 or 1**.
+/// * `buckets()[i]` for `i >= 1` holds samples in **`[2^i, 2^(i+1))`** —
+///   i.e. an exact power of two `2^i` lands in bucket `i`, and
+///   `2^(i+1) - 1` is the largest value in bucket `i`.
+/// * `u64::MAX` lands in the last bucket, `buckets()[63]`, which covers
+///   `[2^63, u64::MAX]`.
+///
+/// Equivalently, for `value > 1` the index is `63 - value.leading_zeros()`
+/// (the position of the most significant set bit). [`Histogram::bucket_of`]
+/// exposes this mapping and [`Histogram::bucket_bounds`] its inverse.
+///
+/// The running `sum` saturates at `u64::MAX` rather than wrapping, so a
+/// histogram fed extreme values still reports a coherent (if clamped) total.
 ///
 /// # Examples
 ///
@@ -15,6 +30,9 @@
 /// h.record(300);
 /// assert_eq!(h.count(), 2);
 /// assert_eq!(h.sum(), 303);
+/// assert_eq!(Histogram::bucket_of(3), 1);
+/// assert_eq!(Histogram::bucket_of(256), 8);
+/// assert_eq!(Histogram::bucket_bounds(8), (256, 511));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
@@ -41,16 +59,41 @@ impl Histogram {
         Histogram::default()
     }
 
-    /// Records one sample.
-    pub fn record(&mut self, value: u64) {
-        let b = if value <= 1 {
+    /// Bucket index a value falls into (see the type-level docs).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
             0
         } else {
             63 - value.leading_zeros() as usize
-        };
-        self.buckets[b] += 1;
+        }
+    }
+
+    /// Inclusive `(lo, hi)` value range covered by bucket `i`.
+    ///
+    /// Bucket 0 covers `(0, 1)`; bucket `i >= 1` covers
+    /// `(2^i, 2^(i+1) - 1)`, with bucket 63 capped at `u64::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < 64, "bucket index {i} out of range");
+        if i == 0 {
+            (0, 1)
+        } else if i == 63 {
+            (1u64 << 63, u64::MAX)
+        } else {
+            (1u64 << i, (1u64 << (i + 1)) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -59,7 +102,7 @@ impl Histogram {
         self.count
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples (saturating at `u64::MAX`).
     pub fn sum(&self) -> u64 {
         self.sum
     }
@@ -78,9 +121,56 @@ impl Histogram {
         }
     }
 
-    /// Per-bucket counts, for rendering.
+    /// Per-bucket counts, for rendering. Indexing is documented on the type.
     pub fn buckets(&self) -> &[u64; 64] {
         &self.buckets
+    }
+
+    /// Estimated `p`-th percentile (`0.0..=100.0`) by linear interpolation
+    /// within the containing bucket.
+    ///
+    /// The rank `p/100 * (count - 1)` is located in the cumulative bucket
+    /// counts; the result interpolates between the bucket's inclusive
+    /// bounds according to where the rank falls among that bucket's
+    /// samples. The estimate is exact when all of a bucket's samples sit at
+    /// its lower bound, is never below the true minimum bucket bound, never
+    /// above `max()`, and is monotone in `p`. Returns 0.0 for an empty
+    /// histogram.
+    ///
+    /// ```
+    /// use pimdsm_engine::Histogram;
+    /// let mut h = Histogram::new();
+    /// for v in [8, 8, 8, 8] { h.record(v); }
+    /// let p50 = h.percentile(50.0);
+    /// assert!((8.0..16.0).contains(&p50));
+    /// ```
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Fractional rank in [0, count-1].
+        let rank = p / 100.0 * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let first = seen as f64; // rank of the bucket's first sample
+            let last = (seen + n - 1) as f64; // rank of its last sample
+            if rank <= last {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let hi = hi.min(self.max).max(lo);
+                let frac = if last > first {
+                    ((rank - first) / (last - first)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            seen += n;
+        }
+        self.max as f64
     }
 
     /// Merges another histogram into this one.
@@ -89,12 +179,16 @@ impl Histogram {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }
 
-/// Running mean/min/max without storing samples.
+/// Running mean/min/max/variance without storing samples.
+///
+/// Uses Welford's online algorithm, so the variance is numerically stable
+/// even for long runs of large cycle counts, and two collectors can be
+/// [merged](RunningStats::merge) exactly (Chan et al.'s parallel update).
 ///
 /// # Examples
 ///
@@ -107,11 +201,13 @@ impl Histogram {
 /// assert_eq!(s.mean(), 3.0);
 /// assert_eq!(s.min(), 2.0);
 /// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.variance(), 1.0);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunningStats {
     n: u64,
-    sum: f64,
+    mean: f64,
+    m2: f64,
     min: f64,
     max: f64,
 }
@@ -121,16 +217,19 @@ impl RunningStats {
     pub fn new() -> Self {
         RunningStats {
             n: 0,
-            sum: 0.0,
+            mean: 0.0,
+            m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
     }
 
-    /// Adds one sample.
+    /// Adds one sample (Welford update).
     pub fn add(&mut self, v: f64) {
         self.n += 1;
-        self.sum += v;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -145,8 +244,22 @@ impl RunningStats {
         if self.n == 0 {
             0.0
         } else {
-            self.sum / self.n as f64
+            self.mean
         }
+    }
+
+    /// Population variance (0.0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
     }
 
     /// Smallest sample (0.0 if empty).
@@ -165,6 +278,30 @@ impl RunningStats {
         } else {
             self.max
         }
+    }
+
+    /// Merges another collector into this one.
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// fed every sample into a single collector, using Chan et al.'s
+    /// parallel combination of Welford states.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -188,6 +325,41 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_indexing_boundaries() {
+        // Exact powers of two land in the bucket bearing their exponent.
+        for i in 1..64 {
+            let v = 1u64 << i;
+            assert_eq!(Histogram::bucket_of(v), i, "2^{i}");
+            if v > 2 {
+                assert_eq!(Histogram::bucket_of(v - 1), i - 1, "2^{i} - 1");
+            }
+        }
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[63], 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_invert_bucket_of() {
+        for i in 0..64 {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_of(lo), i);
+            assert_eq!(Histogram::bucket_of(hi), i);
+            assert!(lo <= hi);
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+        assert_eq!(Histogram::bucket_bounds(63).1, u64::MAX);
+    }
+
+    #[test]
     fn histogram_merge_adds() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -200,12 +372,58 @@ mod tests {
     }
 
     #[test]
+    fn percentile_empty_and_single() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0.0);
+        let mut h = Histogram::new();
+        h.record(100);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!((64.0..=100.0).contains(&v), "p{p} = {v}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 2, 5, 9, 17, 64, 64, 200, 4096] {
+            h.record(v);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let v = h.percentile(p as f64);
+            assert!(v >= prev, "p{p}: {v} < {prev}");
+            assert!(v <= h.max() as f64);
+            prev = v;
+        }
+        // p0 starts in the lowest occupied bucket, p100 reaches the max.
+        assert!(h.percentile(0.0) <= 1.0);
+        assert_eq!(h.percentile(100.0), h.max() as f64);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_bucket() {
+        // 100 samples all in bucket 4 ([16, 31]): p0 pins to the lower
+        // bound and p100 pins to the recorded max.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(16);
+        }
+        h.record(31);
+        assert_eq!(h.percentile(0.0), 16.0);
+        assert_eq!(h.percentile(100.0), 31.0);
+        let p50 = h.percentile(50.0);
+        assert!((16.0..=31.0).contains(&p50));
+    }
+
+    #[test]
     fn running_stats_empty_is_zero() {
         let s = RunningStats::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 0.0);
         assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
     }
 
     #[test]
@@ -218,5 +436,56 @@ mod tests {
         assert_eq!(s.max(), 9.0);
         assert_eq!(s.count(), 4);
         assert!((s.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_variance_matches_direct_formula() {
+        let samples = [3.0_f64, 7.0, 7.0, 19.0, 24.0, 1.0, 100.0];
+        let mut s = RunningStats::new();
+        for v in samples {
+            s.add(v);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-9);
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential_feed() {
+        let xs = [2.0_f64, 4.0, 4.0, 4.0, 5.0];
+        let ys = [5.0_f64, 7.0, 9.0, 100.0];
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        let mut whole = RunningStats::new();
+        for v in xs {
+            a.add(v);
+            whole.add(v);
+        }
+        for v in ys {
+            b.add(v);
+            whole.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.add(3.0);
+        a.add(5.0);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
     }
 }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use pimdsm_engine::{EventQueue, SimRng, Timeline, Zipf};
+use pimdsm_engine::{EventQueue, Histogram, SimRng, Timeline, Zipf};
 
 proptest! {
     /// Service never starts before the request arrives, and the capacity
@@ -85,6 +85,54 @@ proptest! {
         let mut fa = a.fork(7);
         let mut fb = b.fork(7);
         prop_assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    /// Histogram bucket indexing invariants: every recorded value lands in
+    /// the documented bucket (`buckets()[i]` covers `[2^i, 2^(i+1))`, with
+    /// bucket 0 holding {0, 1} and bucket 63 capped at `u64::MAX`), bucket
+    /// bounds invert the mapping, counts are conserved, and percentiles are
+    /// monotone and bounded by the observed maximum. Boundary values —
+    /// exact powers of two, their neighbours, and `u64::MAX` — are mixed
+    /// into every case.
+    #[test]
+    fn histogram_bucket_indexing_invariants(
+        values in proptest::collection::vec(any::<u64>(), 1..100),
+        shifts in proptest::collection::vec(0u32..64, 1..20)
+    ) {
+        let mut h = Histogram::new();
+        let mut expected = [0u64; 64];
+        let boundary = shifts
+            .iter()
+            .flat_map(|&s| {
+                let p = 1u64 << s;
+                [p, p.saturating_sub(1), p.saturating_add(1)]
+            })
+            .chain([0, 1, u64::MAX]);
+        for v in values.iter().copied().chain(boundary) {
+            let i = Histogram::bucket_of(v);
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            prop_assert!(
+                (lo..=hi).contains(&v),
+                "value {v} mapped to bucket {i} = [{lo}, {hi}]"
+            );
+            // Documented closed form: MSB position for v > 1.
+            if v > 1 {
+                prop_assert_eq!(i, 63 - v.leading_zeros() as usize);
+            } else {
+                prop_assert_eq!(i, 0);
+            }
+            h.record(v);
+            expected[i] += 1;
+        }
+        prop_assert_eq!(h.buckets(), &expected);
+        prop_assert_eq!(h.count(), expected.iter().sum::<u64>());
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            prop_assert!(q >= prev, "percentile not monotone at p{p}");
+            prop_assert!(q <= h.max() as f64);
+            prev = q;
+        }
     }
 
     /// Zipf samples stay in range for any size/exponent.

@@ -74,7 +74,7 @@ impl<S> AttractionMemory<S> {
 
     /// Total geometry (on-chip + off-chip).
     pub fn cfg(&self) -> &CacheCfg {
-        &self.cache.cfg()
+        self.cache.cfg()
     }
 
     /// Number of resident lines.
@@ -100,9 +100,7 @@ impl<S> AttractionMemory<S> {
     /// References a line: if resident, returns where it was found and
     /// promotes it on chip (swapping with the LRU on-chip line if needed).
     pub fn touch(&mut self, line: Line) -> Option<Residency> {
-        if self.cache.get(line).is_none() {
-            return None;
-        }
+        self.cache.get(line)?;
         if self.onchip.move_to_back(&line) {
             Some(Residency::OnChip)
         } else {
@@ -154,11 +152,7 @@ impl<S> AttractionMemory<S> {
     }
 
     /// Returns what inserting `line` would evict, without changing state.
-    pub fn peek_victim(
-        &self,
-        line: Line,
-        victim_class: impl Fn(&S) -> u32,
-    ) -> Option<(Line, &S)> {
+    pub fn peek_victim(&self, line: Line, victim_class: impl Fn(&S) -> u32) -> Option<(Line, &S)> {
         self.cache.peek_victim(line, victim_class)
     }
 

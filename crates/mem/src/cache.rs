@@ -370,9 +370,7 @@ mod tests {
         c.insert(0, 'M', |_| 0); // "master": class 0
         c.insert(2, 'S', |_| 0); // "shared": class 1
         c.get(2); // shared is MRU
-        let v = c
-            .insert(4, 'X', |s| if *s == 'S' { 1 } else { 0 })
-            .unwrap();
+        let v = c.insert(4, 'X', |s| if *s == 'S' { 1 } else { 0 }).unwrap();
         assert_eq!(v.line, 2, "higher victim class evicted despite MRU");
     }
 

@@ -119,7 +119,10 @@ impl Mesh {
         if n <= 1 {
             return 0.0;
         }
-        let total: usize = (0..n).filter(|&t| t != from).map(|t| self.hops(from, t)).sum();
+        let total: usize = (0..n)
+            .filter(|&t| t != from)
+            .map(|t| self.hops(from, t))
+            .sum();
         total as f64 / (n - 1) as f64
     }
 
@@ -135,7 +138,11 @@ impl Mesh {
             cur.x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
         }
         while cur.y != dst.y {
-            let dir = if dst.y > cur.y { Dir::South } else { Dir::North };
+            let dir = if dst.y > cur.y {
+                Dir::South
+            } else {
+                Dir::North
+            };
             out.push(self.link_id(cur, dir));
             cur.y = if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 };
         }

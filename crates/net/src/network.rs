@@ -1,6 +1,7 @@
 //! Contended wormhole network built on per-link timelines.
 
 use pimdsm_engine::{Cycle, Timeline};
+use pimdsm_obs::{trace::track, Tracer};
 
 use crate::mesh::Mesh;
 
@@ -72,6 +73,7 @@ pub struct Network {
     links: Vec<Timeline>,
     stats: NetStats,
     route_buf: Vec<usize>,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -88,7 +90,20 @@ impl Network {
             links: vec![Timeline::new(); mesh.num_link_slots()],
             stats: NetStats::default(),
             route_buf: Vec::with_capacity(32),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a [`Tracer`]; an enabled tracer records one `net.link`
+    /// span per link crossing (tid = link id) and a `net.msg` instant per
+    /// delivered message. The default disabled tracer costs one branch.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Number of directed link slots in the mesh.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
     }
 
     /// The topology.
@@ -120,11 +135,36 @@ impl Network {
         for &link in &route {
             let start = self.links[link].acquire(head, ser);
             queueing += start - head;
+            self.tracer.span(
+                track::NET,
+                link as u32,
+                "xfer",
+                "net.link",
+                start,
+                ser.max(1),
+                &[
+                    ("from", from as u64),
+                    ("to", to as u64),
+                    ("bytes", bytes as u64),
+                ],
+            );
             head = start + self.cfg.hop_latency;
         }
         // The tail flit arrives one serialization time after the head.
         let delivered = head + ser + self.cfg.eject_latency;
         self.route_buf = route;
+        self.tracer.instant(
+            track::NET,
+            self.links.len() as u32,
+            "deliver",
+            "net.msg",
+            delivered,
+            &[
+                ("from", from as u64),
+                ("to", to as u64),
+                ("bytes", bytes as u64),
+            ],
+        );
 
         self.stats.messages += 1;
         self.stats.bytes += bytes as u64;
@@ -156,7 +196,11 @@ impl Network {
 
     /// Busy cycles of the single most-loaded link (hot-spot detection).
     pub fn max_link_busy(&self) -> Cycle {
-        self.links.iter().map(|l| l.busy_cycles()).max().unwrap_or(0)
+        self.links
+            .iter()
+            .map(|l| l.busy_cycles())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Resets statistics (not link schedules).
@@ -165,6 +209,18 @@ impl Network {
         for l in &mut self.links {
             l.reset_stats();
         }
+    }
+}
+
+impl pimdsm_obs::ToJson for NetStats {
+    fn to_json(&self) -> pimdsm_obs::JsonValue {
+        use pimdsm_obs::JsonValue;
+        JsonValue::obj([
+            ("messages", JsonValue::u64(self.messages)),
+            ("bytes", JsonValue::u64(self.bytes)),
+            ("total_latency", JsonValue::u64(self.total_latency)),
+            ("total_queueing", JsonValue::u64(self.total_queueing)),
+        ])
     }
 }
 
@@ -212,8 +268,8 @@ mod tests {
         let mut n = net();
         let a = n.send(0, 1, 64, 0);
         let b = n.send(14, 15, 64, 0);
-        assert_eq!(a - 0, n.ideal_latency(0, 1, 64));
-        assert_eq!(b - 0, n.ideal_latency(14, 15, 64));
+        assert_eq!(a, n.ideal_latency(0, 1, 64));
+        assert_eq!(b, n.ideal_latency(14, 15, 64));
     }
 
     #[test]
@@ -227,6 +283,20 @@ mod tests {
             },
         );
         assert!(wide.ideal_latency(0, 15, 256) < narrow.ideal_latency(0, 15, 256));
+    }
+
+    #[test]
+    fn tracer_records_link_spans_and_delivery() {
+        let mut n = net();
+        let t = Tracer::enabled();
+        n.attach_tracer(t.clone());
+        n.send(0, 3, 64, 0);
+        n.send(5, 5, 64, 0); // self-send: no events
+        let events = t.events_sorted();
+        let links = events.iter().filter(|e| e.cat == "net.link").count();
+        let msgs = events.iter().filter(|e| e.cat == "net.msg").count();
+        assert_eq!(links, n.hops(0, 3));
+        assert_eq!(msgs, 1);
     }
 
     #[test]

@@ -20,9 +20,10 @@
 use pimdsm_engine::Cycle;
 use pimdsm_mem::{line_of, CacheCfg, Line, Page, PageTable};
 use pimdsm_net::{Mesh, NetCfg, NetStats, Network};
+use pimdsm_obs::{trace::track, EpochProbe, Tracer};
 
 use crate::common::{
-    Access, AmState, Census, ControllerKind, CState, HandlerCosts, HandlerKind, LatencyCfg, Level,
+    Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
     MsgSize, NodeId, PreloadKind, ProtoStats,
 };
 use crate::dnode::{DNode, DNodeCfg, Master};
@@ -108,6 +109,16 @@ impl AggCfg {
     }
 }
 
+/// Trace label for a software handler kind.
+fn handler_name(kind: HandlerKind) -> &'static str {
+    match kind {
+        HandlerKind::Read => "Read",
+        HandlerKind::ReadExclusive => "ReadEx",
+        HandlerKind::Acknowledgment => "Ack",
+        HandlerKind::WriteBack => "WriteBack",
+    }
+}
+
 /// What a mesh slot currently is.
 #[derive(Debug)]
 enum Role {
@@ -125,6 +136,7 @@ pub struct AggSystem {
     pages: PageTable,
     net: Network,
     stats: ProtoStats,
+    tracer: Tracer,
 }
 
 impl AggSystem {
@@ -180,6 +192,7 @@ impl AggSystem {
             net,
             stats: ProtoStats::default(),
             cfg,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -265,6 +278,8 @@ impl AggSystem {
     }
 
     /// Dispatches a software handler at D-node `d`; returns its grant.
+    /// An enabled tracer records the handler's occupancy window on the
+    /// D-node processor as a `proto.handler` span (tid = D-node id).
     fn dispatch(
         &mut self,
         d: NodeId,
@@ -273,7 +288,17 @@ impl AggSystem {
         at: Cycle,
     ) -> pimdsm_engine::ServerGrant {
         let (l, o) = self.cfg.handler.cost(kind, invals);
-        self.dstore(d).server.dispatch(at, l, o)
+        let g = self.dstore(d).server.dispatch(at, l, o);
+        self.tracer.span(
+            track::PROTO,
+            d as u32,
+            handler_name(kind),
+            "proto.handler",
+            g.start,
+            o.max(1),
+            &[("invals", invals as u64), ("queued", g.start - at)],
+        );
+        g
     }
 
     /// Ensures D-node `d` has a free Data slot, paging out if necessary.
@@ -302,6 +327,7 @@ impl AggSystem {
             "D-node {d} must page out but maps no pages"
         );
         self.stats.page_outs += 1;
+        let n_pages = victims.len() as u64;
         let lpp = self.dstore_ref(d).cfg().lines_per_page;
         let data = self.msg_data();
         let ctrl = self.msg_ctrl();
@@ -342,6 +368,15 @@ impl AggSystem {
             dn.apply_pageout(page);
             t = dn.server.occupy(t, occ) + occ;
         }
+        self.tracer.span(
+            track::PROTO,
+            d as u32,
+            "pageout",
+            "am.pageout",
+            at,
+            (t - at).max(1),
+            &[("pages", n_pages)],
+        );
         t
     }
 
@@ -356,7 +391,7 @@ impl AggSystem {
         let data = self.msg_data();
         let t1 = self.net.send(p, home, data, at);
         let g = self.dispatch(home, HandlerKind::WriteBack, 0, t1);
-        if !self.dstore_ref(home).entry(line).map_or(false, |e| e.in_mem) {
+        if !self.dstore_ref(home).entry(line).is_some_and(|e| e.in_mem) {
             let t_slot = self.ensure_slot(home, line, g.start);
             self.dstore(home).fill_slot(line);
             self.dstore(home).data_access(line, t_slot);
@@ -374,7 +409,16 @@ impl AggSystem {
             .expect("resident line must be mapped");
         let t1 = self.net.send(p, home, self.msg_ctrl(), at);
         let (_, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
-        self.dstore(home).server.occupy(t1, ao);
+        let start = self.dstore(home).server.occupy(t1, ao);
+        self.tracer.span(
+            track::PROTO,
+            home as u32,
+            "Hint",
+            "proto.handler",
+            start,
+            ao.max(1),
+            &[],
+        );
         self.dstore(home).replacement_hint(line, p);
     }
 
@@ -389,6 +433,14 @@ impl AggSystem {
         });
         let Some(victim) = r.victim else { return };
         let vline = victim.line;
+        self.tracer.instant(
+            track::PROTO,
+            p as u32,
+            "swap",
+            "am.swap",
+            at,
+            &[("new", line), ("victim", vline)],
+        );
         let cached = self.pstore(p).caches.invalidate(vline);
         let vstate = match (victim.state, cached) {
             (_, Some(CState::Dirty)) => AmState::Dirty,
@@ -462,6 +514,7 @@ impl AggSystem {
     /// software handler for `occupancy` cycles (plus `mem_bytes` of Data
     /// traffic on its memory port) and replies with `reply_bytes`.
     /// Returns the cycle the reply reaches `p`.
+    #[allow(clippy::too_many_arguments)]
     pub fn offload(
         &mut self,
         p: NodeId,
@@ -506,8 +559,7 @@ impl AggSystem {
         // another D-node or sent to disk"), off the critical path.
         // The converting node streams over its four mesh links in
         // parallel, without per-line message headers (bulk DMA).
-        let line_transfer =
-            (self.line_bytes()).div_ceil(self.cfg.net.bytes_per_cycle * 4);
+        let line_transfer = (self.line_bytes()).div_ceil(self.cfg.net.bytes_per_cycle * 4);
         let mut t = now;
         let mut lines_moved = 0u64;
         for (i, &page) in pages.iter().enumerate() {
@@ -653,6 +705,14 @@ impl MemSystem for AggSystem {
 
         let t = now + self.cfg.lat.l2 + self.cfg.lat.am_tag_check;
         if let Some(res) = self.pstore(node).am.touch(line) {
+            self.tracer.instant(
+                track::PROTO,
+                node as u32,
+                "hit",
+                "am.hit",
+                t,
+                &[("line", line)],
+            );
             let bytes = self.line_bytes();
             let m = self.pstore(node).mem_access(res, t, bytes);
             let done = m + self.cfg.lat.fill;
@@ -663,6 +723,14 @@ impl MemSystem for AggSystem {
                 level: Level::LocalMem,
             };
         }
+        self.tracer.instant(
+            track::PROTO,
+            node as u32,
+            "miss",
+            "am.miss",
+            t,
+            &[("line", line)],
+        );
 
         let home = self.home_of(line, node);
         let ctrl = self.msg_ctrl();
@@ -673,6 +741,14 @@ impl MemSystem for AggSystem {
         let (data_at, level, new_state) = match entry {
             Some(e) if e.paged_out => {
                 self.stats.disk_faults += 1;
+                self.tracer.instant(
+                    track::PROTO,
+                    home as u32,
+                    "fault",
+                    "proto.disk",
+                    t1,
+                    &[("line", line)],
+                );
                 let g = self.dispatch(home, HandlerKind::Read, 0, t1);
                 let t_slot = self.ensure_slot(home, line, g.start + self.cfg.lat.disk);
                 let dn = self.dstore(home);
@@ -747,6 +823,15 @@ impl MemSystem for AggSystem {
         };
 
         let done = data_at + self.cfg.lat.fill;
+        self.tracer.span(
+            track::PROTO,
+            node as u32,
+            "read.remote",
+            "proto.read",
+            now,
+            (done - now).max(1),
+            &[("line", line), ("level", level.index() as u64)],
+        );
         self.am_fill(node, line, new_state, done);
         self.fill_caches(node, line, CState::Shared);
         self.stats.record_read(level, done - now);
@@ -801,6 +886,14 @@ impl MemSystem for AggSystem {
         if let Some(e) = entry {
             if e.paged_out {
                 self.stats.disk_faults += 1;
+                self.tracer.instant(
+                    track::PROTO,
+                    home as u32,
+                    "fault",
+                    "proto.disk",
+                    t1,
+                    &[("line", line)],
+                );
                 let g = self.dispatch(home, HandlerKind::ReadExclusive, 0, t1);
                 self.dstore(home).apply_pagein(line);
                 let targets = self.dstore(home).make_owner(line, node);
@@ -820,15 +913,11 @@ impl MemSystem for AggSystem {
 
         let had_local_copy = am_state.is_some();
         let prev_owner = entry.and_then(|e| e.owner);
-        let home_had_copy = entry.map_or(false, |e| e.in_mem);
+        let home_had_copy = entry.is_some_and(|e| e.in_mem);
 
         // Directory mutation: who must be invalidated.
         let mut targets = self.dstore(home).make_owner(line, node);
-        let (xl, xo) = self
-            .cfg
-            .handler
-            .cost(HandlerKind::ReadExclusive, targets.len() as u32);
-        let g = self.dstore(home).server.dispatch(t1, xl, xo);
+        let g = self.dispatch(home, HandlerKind::ReadExclusive, targets.len() as u32, t1);
 
         let (data_at, level) = if had_local_copy {
             // Upgrade: data already local, just ownership + invalidations.
@@ -879,6 +968,15 @@ impl MemSystem for AggSystem {
         };
 
         let done = data_at + self.cfg.lat.fill;
+        self.tracer.span(
+            track::PROTO,
+            node as u32,
+            "write.remote",
+            "proto.write",
+            now,
+            (done - now).max(1),
+            &[("line", line), ("level", level.index() as u64)],
+        );
         if !had_local_copy {
             self.am_fill(node, line, AmState::Dirty, done);
         }
@@ -942,6 +1040,32 @@ impl MemSystem for AggSystem {
             .map(|&d| self.dstore_ref(d).server.busy_cycles())
             .sum();
         busy as f64 / (elapsed * self.d_list.len() as u64) as f64
+    }
+
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.net.attach_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    fn epoch_probe(&self) -> EpochProbe {
+        let mut probe = EpochProbe {
+            ctrl_busy: 0,
+            ctrl_count: self.d_list.len(),
+            link_busy: self.net.total_link_busy(),
+            link_count: self.net.num_links(),
+            shared_list_depth: 0,
+            free_slots: 0,
+            reads_by_level: self.stats.reads_by_level,
+            remote_writes: self.stats.remote_writes,
+            net_messages: self.net.stats().messages,
+        };
+        for &d in &self.d_list {
+            let dn = self.dstore_ref(d);
+            probe.ctrl_busy += dn.server.busy_cycles();
+            probe.shared_list_depth += dn.shared_list_len();
+            probe.free_slots += dn.free_slots();
+        }
+        probe
     }
 
     fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind) {
@@ -1206,5 +1330,74 @@ mod tests {
         assert_eq!(c.shared_in_p, 1);
         assert_eq!(c.shared_with_home_copy, 1);
         assert_eq!(c.d_node_only, 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_guard {
+    use super::*;
+    use pimdsm_obs::{TraceEvent, Tracer};
+
+    /// Determinism guard: a known tiny run must produce this exact event
+    /// sequence. If a protocol or interconnect change legitimately alters
+    /// the walk, update the expectation alongside the change — the point
+    /// is that such changes never happen silently.
+    #[test]
+    fn tiny_run_produces_exact_event_sequence() {
+        let mut s = AggSystem::new(AggCfg::paper(2, 1, 8, 32, 256, 1024));
+        let tracer = Tracer::enabled();
+        s.attach_tracer(tracer.clone());
+        let (p0, p1) = (s.p_nodes()[0], s.p_nodes()[1]);
+        // Cold read by p0, a second sharer p1, then p1 takes ownership
+        // (invalidating p0): one Read, one Read, one ReadExclusive.
+        s.read(p0, 0x1000, 0);
+        s.read(p1, 0x1000, 1_000);
+        s.write(p1, 0x1000, 2_000);
+
+        #[allow(clippy::type_complexity)]
+        #[rustfmt::skip]
+        let expected: &[(u32, u32, &str, &str, Cycle, Option<Cycle>, &[(&str, u64)])] = &[
+            (0, 0, "read.remote", "proto.read", 0, Some(179), &[("line", 64), ("level", 3)]),
+            (0, 0, "miss", "am.miss", 12, None, &[("line", 64)]),
+            (0, 1, "Read", "proto.handler", 49, Some(80), &[("invals", 0), ("queued", 0)]),
+            (0, 1, "Read", "proto.handler", 1049, Some(80), &[("invals", 0), ("queued", 0)]),
+            (0, 1, "ReadEx", "proto.handler", 2049, Some(90), &[("invals", 1), ("queued", 0)]),
+            (0, 2, "read.remote", "proto.read", 1000, Some(162), &[("line", 64), ("level", 3)]),
+            (0, 2, "miss", "am.miss", 1012, None, &[("line", 64)]),
+            (0, 2, "write.remote", "proto.write", 2000, Some(195), &[("line", 64), ("level", 3)]),
+            (1, 0, "xfer", "net.link", 22, Some(8), &[("from", 0), ("to", 1), ("bytes", 16)]),
+            (1, 0, "xfer", "net.link", 2147, Some(8), &[("from", 0), ("to", 2), ("bytes", 16)]),
+            (1, 4, "xfer", "net.link", 1099, Some(40), &[("from", 1), ("to", 2), ("bytes", 80)]),
+            (1, 4, "xfer", "net.link", 2156, Some(8), &[("from", 0), ("to", 2), ("bytes", 16)]),
+            (1, 4, "xfer", "net.link", 2164, Some(8), &[("from", 1), ("to", 2), ("bytes", 16)]),
+            (1, 5, "xfer", "net.link", 116, Some(40), &[("from", 1), ("to", 0), ("bytes", 80)]),
+            (1, 5, "xfer", "net.link", 2104, Some(8), &[("from", 1), ("to", 0), ("bytes", 16)]),
+            (1, 9, "xfer", "net.link", 1022, Some(8), &[("from", 2), ("to", 1), ("bytes", 16)]),
+            (1, 9, "xfer", "net.link", 2022, Some(8), &[("from", 2), ("to", 1), ("bytes", 16)]),
+            (1, 12, "deliver", "net.msg", 49, None, &[("from", 0), ("to", 1), ("bytes", 16)]),
+            (1, 12, "deliver", "net.msg", 175, None, &[("from", 1), ("to", 0), ("bytes", 80)]),
+            (1, 12, "deliver", "net.msg", 1049, None, &[("from", 2), ("to", 1), ("bytes", 16)]),
+            (1, 12, "deliver", "net.msg", 1158, None, &[("from", 1), ("to", 2), ("bytes", 80)]),
+            (1, 12, "deliver", "net.msg", 2049, None, &[("from", 2), ("to", 1), ("bytes", 16)]),
+            (1, 12, "deliver", "net.msg", 2131, None, &[("from", 1), ("to", 0), ("bytes", 16)]),
+            (1, 12, "deliver", "net.msg", 2183, None, &[("from", 0), ("to", 2), ("bytes", 16)]),
+            (1, 12, "deliver", "net.msg", 2191, None, &[("from", 1), ("to", 2), ("bytes", 16)]),
+        ];
+
+        let actual = tracer.events_sorted();
+        assert_eq!(actual.len(), expected.len(), "event count changed");
+        for (got, want) in actual.iter().zip(expected) {
+            let (pid, tid, name, cat, ts, dur, args) = *want;
+            let want_ev = TraceEvent {
+                name,
+                cat,
+                pid,
+                tid,
+                ts,
+                dur,
+                args: args.to_vec(),
+            };
+            assert_eq!(*got, want_ev);
+        }
     }
 }

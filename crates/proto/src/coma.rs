@@ -18,7 +18,7 @@ use pimdsm_mem::{line_of, CacheCfg, Line, PageTable};
 use pimdsm_net::{Mesh, NetCfg, NetStats, Network};
 
 use crate::common::{
-    Access, AmState, Census, ControllerKind, CState, HandlerCosts, HandlerKind, LatencyCfg, Level,
+    Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
     MsgSize, NodeId, NodeSet, PreloadKind, ProtoStats,
 };
 use crate::pnode::{PNodeStore, WriteProbe};
@@ -314,9 +314,13 @@ impl ComaSystem {
         // Prefer a memory with a genuinely free way; displacing another
         // node's attracted shared copy is second choice (it re-fetches
         // later — the memory pollution the paper attributes to COMA).
-        let free_way = candidates
-            .iter()
-            .position(|&c| self.nodes[c].store.am.peek_victim(line, victim_class).is_none());
+        let free_way = candidates.iter().position(|&c| {
+            self.nodes[c]
+                .store
+                .am
+                .peek_victim(line, victim_class)
+                .is_none()
+        });
         let shared_victim = || {
             candidates.iter().position(|&c| {
                 matches!(
@@ -437,14 +441,16 @@ impl MemSystem for ComaSystem {
             self.stats.disk_faults += 1;
             let t1 = self.net.send(node, home, ctrl, t);
             let g = self.dispatch(home, HandlerKind::Read, 0, t1);
-            let t2 = self
-                .net
-                .send(home, node, data, g + self.cfg.lat.disk);
+            let t2 = self.net.send(home, node, data, g + self.cfg.lat.disk);
             let de = self.dir.entry(line).or_default();
             de.on_disk = false;
             de.master = Some(node);
             de.sharers = NodeSet::singleton(node);
-            let lvl = if home == node { Level::LocalMem } else { Level::Hop2 };
+            let lvl = if home == node {
+                Level::LocalMem
+            } else {
+                Level::Hop2
+            };
             (t2, home, lvl, AmState::SharedMaster)
         } else if let Some(k) = e.owner {
             debug_assert_ne!(k, node, "owner cannot miss in its own memory");
@@ -457,7 +463,11 @@ impl MemSystem for ComaSystem {
                 let t2 = self.net.send(home, k, ctrl, g);
                 let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
                 let m = self.mem_access(k, line, g2);
-                let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                let lvl = if home == node {
+                    Level::Hop2
+                } else {
+                    Level::Hop3
+                };
                 (self.net.send(k, node, data, m), lvl)
             };
             // Owner keeps the master copy, now shared.
@@ -487,7 +497,11 @@ impl MemSystem for ComaSystem {
                     self.stats.master_fetches += 1;
                     let fwd = self.net.send(home, m_node, ctrl, g);
                     let g2 = self.dispatch(m_node, HandlerKind::Read, 0, fwd);
-                    let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                    let lvl = if home == node {
+                        Level::Hop2
+                    } else {
+                        Level::Hop3
+                    };
                     (g2, lvl)
                 };
                 let m = self.mem_access(m_node, line, t2);
@@ -552,8 +566,7 @@ impl MemSystem for ComaSystem {
                 }
                 let home = self.home_of(line, node);
                 let e = self.dir.entry(line).or_default();
-                let targets: Vec<NodeId> =
-                    e.sharers.iter().filter(|&s| s != node).collect();
+                let targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
                 e.sharers = NodeSet::singleton(node);
                 e.owner = Some(node);
                 e.master = Some(node);
@@ -650,7 +663,11 @@ impl MemSystem for ComaSystem {
             let g = self.dispatch(home, HandlerKind::ReadExclusive, 0, t1);
             let t2 = self.net.send(home, node, data, g + self.cfg.lat.disk);
             self.dir.entry(line).or_default().on_disk = false;
-            let lvl = if home == node { Level::LocalMem } else { Level::Hop2 };
+            let lvl = if home == node {
+                Level::LocalMem
+            } else {
+                Level::Hop2
+            };
             (t2, home, lvl)
         } else if let Some(k) = e.owner {
             debug_assert_ne!(k, node);
@@ -664,7 +681,11 @@ impl MemSystem for ComaSystem {
                 let t2 = self.net.send(home, k, ctrl, g);
                 let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
                 let m = self.mem_access(k, line, g2);
-                let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                let lvl = if home == node {
+                    Level::Hop2
+                } else {
+                    Level::Hop3
+                };
                 (self.net.send(k, node, data, m), lvl)
             };
             self.nodes[k].store.caches.invalidate(line);
@@ -687,7 +708,11 @@ impl MemSystem for ComaSystem {
                 } else {
                     let fwd = self.net.send(home, m_node, ctrl, g);
                     let g2 = self.dispatch(m_node, HandlerKind::Read, 0, fwd);
-                    let lvl = if home == node { Level::Hop2 } else { Level::Hop3 };
+                    let lvl = if home == node {
+                        Level::Hop2
+                    } else {
+                        Level::Hop3
+                    };
                     (g2, lvl)
                 };
                 let m = self.mem_access(m_node, line, t2);
@@ -765,6 +790,26 @@ impl MemSystem for ComaSystem {
         }
         let busy: Cycle = self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum();
         busy as f64 / (elapsed * self.nodes.len() as u64) as f64
+    }
+
+    fn attach_tracer(&mut self, tracer: pimdsm_obs::Tracer) {
+        // COMA's hardware controllers emit no per-handler spans; link
+        // transfers are still recorded by the network.
+        self.net.attach_tracer(tracer);
+    }
+
+    fn epoch_probe(&self) -> pimdsm_obs::EpochProbe {
+        pimdsm_obs::EpochProbe {
+            ctrl_busy: self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum(),
+            ctrl_count: self.nodes.len(),
+            link_busy: self.net.total_link_busy(),
+            link_count: self.net.num_links(),
+            shared_list_depth: 0,
+            free_slots: 0,
+            reads_by_level: self.stats.reads_by_level,
+            remote_writes: self.stats.remote_writes,
+            net_messages: self.net.stats().messages,
+        }
     }
 
     fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind) {
@@ -849,7 +894,10 @@ mod tests {
             s.nodes[0].store.am.peek(0x1000 >> 6),
             Some(&AmState::SharedMaster)
         );
-        assert_eq!(s.nodes[1].store.am.peek(0x1000 >> 6), Some(&AmState::Shared));
+        assert_eq!(
+            s.nodes[1].store.am.peek(0x1000 >> 6),
+            Some(&AmState::Shared)
+        );
         let e = s.dir.get(&(0x1000 >> 6)).unwrap();
         assert_eq!(e.owner, None);
         assert_eq!(e.master, Some(0));
@@ -877,7 +925,11 @@ mod tests {
         s.nodes[0].store.caches.invalidate(line);
         s.read(0, 0x1000, 200);
         let a = s.write(0, 0x1000, 300);
-        assert!(a.done_at - 300 < 60, "local upgrade was {}", a.done_at - 300);
+        assert!(
+            a.done_at - 300 < 60,
+            "local upgrade was {}",
+            a.done_at - 300
+        );
     }
 
     #[test]
@@ -890,7 +942,7 @@ mod tests {
         s.write(0, 0, 0); // A: dirty master at 0
         s.read(1, 64, 0); // B homed/mastered at node 1
         s.read(0, 64, 1000); // node 0 gets shared copy of B
-        // New line C at node 0 must evict the shared B, not dirty A.
+                             // New line C at node 0 must evict the shared B, not dirty A.
         s.write(0, 128, 10_000);
         let am = &s.nodes[0].store.am;
         assert!(am.contains(0), "dirty master kept");

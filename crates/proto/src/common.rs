@@ -111,7 +111,13 @@ pub enum Level {
 
 impl Level {
     /// All levels, in hierarchy order.
-    pub const ALL: [Level; 5] = [Level::L1, Level::L2, Level::LocalMem, Level::Hop2, Level::Hop3];
+    pub const ALL: [Level; 5] = [
+        Level::L1,
+        Level::L2,
+        Level::LocalMem,
+        Level::Hop2,
+        Level::Hop3,
+    ];
 
     /// Index into [`Level::ALL`].
     pub fn index(self) -> usize {
@@ -409,6 +415,53 @@ impl ProtoStats {
     /// Total summed read latency.
     pub fn total_read_latency(&self) -> Cycle {
         self.read_latency_by_level.iter().sum()
+    }
+}
+
+impl pimdsm_obs::ToJson for ProtoStats {
+    fn to_json(&self) -> pimdsm_obs::JsonValue {
+        use pimdsm_obs::JsonValue;
+        let by_level = |values: &[u64; 5]| {
+            JsonValue::Obj(
+                Level::ALL
+                    .iter()
+                    .map(|&l| (l.label().to_string(), JsonValue::u64(values[l.index()])))
+                    .collect(),
+            )
+        };
+        JsonValue::obj([
+            ("reads_by_level", by_level(&self.reads_by_level)),
+            (
+                "read_latency_by_level",
+                by_level(&self.read_latency_by_level),
+            ),
+            ("remote_writes", JsonValue::u64(self.remote_writes)),
+            ("invalidations", JsonValue::u64(self.invalidations)),
+            ("write_backs", JsonValue::u64(self.write_backs)),
+            ("injections", JsonValue::u64(self.injections)),
+            ("master_fetches", JsonValue::u64(self.master_fetches)),
+            ("page_outs", JsonValue::u64(self.page_outs)),
+            ("disk_faults", JsonValue::u64(self.disk_faults)),
+            ("disk_spills", JsonValue::u64(self.disk_spills)),
+        ])
+    }
+}
+
+impl pimdsm_obs::ToJson for Census {
+    fn to_json(&self) -> pimdsm_obs::JsonValue {
+        use pimdsm_obs::JsonValue;
+        JsonValue::obj([
+            ("dirty_in_p", JsonValue::u64(self.dirty_in_p)),
+            ("shared_in_p", JsonValue::u64(self.shared_in_p)),
+            ("d_node_only", JsonValue::u64(self.d_node_only)),
+            ("paged_out", JsonValue::u64(self.paged_out)),
+            ("d_slots", JsonValue::u64(self.d_slots)),
+            (
+                "shared_with_home_copy",
+                JsonValue::u64(self.shared_with_home_copy),
+            ),
+            ("total_lines", JsonValue::u64(self.total_lines())),
+        ])
     }
 }
 

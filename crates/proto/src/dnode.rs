@@ -151,7 +151,10 @@ impl DNode {
             cold_pages: KeyedQueue::new(),
             server: Server::new(),
             mem_on: Dram::new(cfg.lat_on.saturating_sub(transfer), cfg.mem_bytes_per_cycle),
-            mem_off: Dram::new(cfg.lat_off.saturating_sub(transfer), cfg.mem_bytes_per_cycle),
+            mem_off: Dram::new(
+                cfg.lat_off.saturating_sub(transfer),
+                cfg.mem_bytes_per_cycle,
+            ),
             onchip: OnChipLru::new(cfg.onchip_lines as usize),
             cfg,
             stats: DNodeStats::default(),
@@ -250,8 +253,7 @@ impl DNode {
     /// Whether a slot request right now would have to reclaim SharedList
     /// or trigger a page-out.
     pub fn space_pressure(&self) -> bool {
-        self.free_slots == 0
-            && (self.shared_list.len() as u64) < self.cfg.shared_list_min
+        self.free_slots == 0 && (self.shared_list.len() as u64) < self.cfg.shared_list_min
     }
 
     /// Takes a free Data slot for `line`, reclaiming the SharedList head
@@ -262,10 +264,11 @@ impl DNode {
     /// # Panics
     ///
     /// Panics if `line` already occupies a slot.
+    #[allow(clippy::result_unit_err)]
     pub fn alloc_slot(&mut self, line: Line) -> Result<Option<Line>, ()> {
         let e = self.dir.get(&line);
         assert!(
-            e.map_or(true, |e| !e.in_mem),
+            e.is_none_or(|e| !e.in_mem),
             "line {line:#x} already has a Data slot"
         );
         if self.free_slots > 0 {
@@ -332,7 +335,10 @@ impl DNode {
     /// Read of a line dirty at `owner`: ownership dissolves into
     /// shared-master at the previous owner; the home keeps no copy.
     pub fn dirty_to_shared(&mut self, line: Line, reader: NodeId) -> NodeId {
-        let e = self.dir.get_mut(&line).expect("dirty line must have an entry");
+        let e = self
+            .dir
+            .get_mut(&line)
+            .expect("dirty line must have an entry");
         let owner = e.owner.take().expect("line must be dirty");
         e.master = Master::Node(owner);
         e.sharers = NodeSet::singleton(owner);
@@ -375,7 +381,10 @@ impl DNode {
     /// other sharers remain the copy is *not* reclaimable (the master may
     /// not be dropped), matching the paper's nil pointers.
     pub fn write_back(&mut self, line: Line, from: NodeId) {
-        let e = self.dir.get_mut(&line).expect("written-back line must exist");
+        let e = self
+            .dir
+            .get_mut(&line)
+            .expect("written-back line must exist");
         match e.owner {
             Some(owner) => {
                 debug_assert_eq!(owner, from, "only the owner can write back dirty");
@@ -820,7 +829,7 @@ mod tests {
         let mut d = dnode(4);
         let t_first = d.data_access(1, 0);
         let t_second = d.data_access(1, 1000);
-        assert!(t_first - 0 >= 57 || t_first - 0 >= 37);
+        assert!(t_first >= 57 || t_first >= 37);
         assert!(t_second - 1000 <= t_first, "second touch is on-chip");
     }
 }

@@ -35,10 +35,10 @@ pub mod system;
 pub use agg::{AggCfg, AggSystem};
 pub use coma::{ComaCfg, ComaSystem};
 pub use common::{
-    Access, AmState, Census, ControllerKind, CState, HandlerCosts, HandlerKind, LatencyCfg, Level,
+    Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
     MsgSize, NodeId, NodeSet, PreloadKind, ProtoStats,
 };
 pub use dnode::DNode;
 pub use numa::{NumaCfg, NumaSystem};
-pub use pnode::{PrivCaches, PNodeStore};
+pub use pnode::{PNodeStore, PrivCaches};
 pub use system::MemSystem;

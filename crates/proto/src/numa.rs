@@ -359,8 +359,7 @@ impl MemSystem for NumaSystem {
                 let t = now + self.cfg.lat.l2;
                 let home = self.home_of(line, node);
                 let entry = self.dir.entry(line).or_default();
-                let targets: Vec<NodeId> =
-                    entry.sharers.iter().filter(|&s| s != node).collect();
+                let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
                 entry.sharers.clear();
                 entry.sharers.insert(node);
                 entry.owner = Some(node);
@@ -505,6 +504,26 @@ impl MemSystem for NumaSystem {
         }
         let busy: Cycle = self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum();
         busy as f64 / (elapsed * self.nodes.len() as u64) as f64
+    }
+
+    fn attach_tracer(&mut self, tracer: pimdsm_obs::Tracer) {
+        // NUMA's hardware controllers emit no per-handler spans; link
+        // transfers are still recorded by the network.
+        self.net.attach_tracer(tracer);
+    }
+
+    fn epoch_probe(&self) -> pimdsm_obs::EpochProbe {
+        pimdsm_obs::EpochProbe {
+            ctrl_busy: self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum(),
+            ctrl_count: self.nodes.len(),
+            link_busy: self.net.total_link_busy(),
+            link_count: self.net.num_links(),
+            shared_list_depth: 0,
+            free_slots: 0,
+            reads_by_level: self.stats.reads_by_level,
+            remote_writes: self.stats.remote_writes,
+            net_messages: self.net.stats().messages,
+        }
     }
 
     fn preload(&mut self, addr: u64, owner: NodeId, _kind: PreloadKind) {

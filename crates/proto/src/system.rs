@@ -2,6 +2,7 @@
 
 use pimdsm_engine::Cycle;
 use pimdsm_net::NetStats;
+use pimdsm_obs::{EpochProbe, Tracer};
 
 use crate::common::{Access, Census, NodeId, PreloadKind, ProtoStats};
 
@@ -46,6 +47,30 @@ pub trait MemSystem {
     /// Mean utilization of the protocol controllers/D-node processors over
     /// `elapsed` cycles, in `[0, 1]`.
     fn controller_utilization(&self, elapsed: Cycle) -> f64;
+
+    /// Attaches a [`Tracer`]; implementations thread it through their
+    /// interconnect and protocol engines so an enabled tracer records
+    /// handler occupancy, attraction-memory events and link transfers.
+    /// The default implementation ignores the tracer (no-op).
+    fn attach_tracer(&mut self, _tracer: Tracer) {}
+
+    /// Snapshot of cumulative counters for epoch-based metrics sampling.
+    ///
+    /// The default covers what the trait already exposes (read mix, remote
+    /// writes, network totals); implementations override it to add
+    /// controller busy time, link inventories and directory list depths.
+    fn epoch_probe(&self) -> EpochProbe {
+        let s = self.stats();
+        let n = self.net_stats();
+        let (link_busy, _) = self.net_link_busy();
+        EpochProbe {
+            link_busy,
+            reads_by_level: s.reads_by_level,
+            remote_writes: s.remote_writes,
+            net_messages: n.messages,
+            ..EpochProbe::default()
+        }
+    }
 
     /// Functionally installs a line that existed before the measured
     /// region (initialization happens outside the paper's measurement

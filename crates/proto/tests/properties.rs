@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use pimdsm_proto::{AggCfg, AggSystem, ComaCfg, ComaSystem, MemSystem, NodeSet, NumaCfg, NumaSystem};
+use pimdsm_proto::{
+    AggCfg, AggSystem, ComaCfg, ComaSystem, MemSystem, NodeSet, NumaCfg, NumaSystem,
+};
 
 #[derive(Debug, Clone, Copy)]
 enum Access {

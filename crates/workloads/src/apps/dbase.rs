@@ -55,12 +55,7 @@ impl Dbase {
     /// # Panics
     ///
     /// Panics if either thread count is zero or the tables are too small.
-    pub fn new(
-        hash_threads: usize,
-        join_threads: usize,
-        table_bytes: u64,
-        offload: bool,
-    ) -> Self {
+    pub fn new(hash_threads: usize, join_threads: usize, table_bytes: u64, offload: bool) -> Self {
         assert!(hash_threads > 0 && join_threads > 0);
         let threads = hash_threads.max(join_threads);
         let chunk_bytes = 16 * 1024;

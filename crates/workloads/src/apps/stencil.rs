@@ -153,9 +153,7 @@ impl Workload for Stencil {
                     count: lines_per_row,
                 });
             }
-            out.push(Op::Compute(
-                app.cfg.compute_per_row * app.cfg.arrays as u64,
-            ));
+            out.push(Op::Compute(app.cfg.compute_per_row * app.cfg.arrays as u64));
             // Write own row of the first half of the arrays (outputs).
             for a in 0..(app.cfg.arrays / 2).max(1) {
                 out.push(Op::StoreBatch {
@@ -298,13 +296,22 @@ mod tests {
             for op in drain(&w, t) {
                 let top = match op {
                     Op::Load(a) | Op::Store(a) => a,
-                    Op::LoadBatch { base, stride, count }
-                    | Op::StoreBatch { base, stride, count } => {
-                        base + stride as u64 * (count as u64 - 1)
+                    Op::LoadBatch {
+                        base,
+                        stride,
+                        count,
                     }
+                    | Op::StoreBatch {
+                        base,
+                        stride,
+                        count,
+                    } => base + stride as u64 * (count as u64 - 1),
                     _ => continue,
                 };
-                assert!(top < fp + 4096 * 2, "address {top:#x} beyond footprint {fp:#x}");
+                assert!(
+                    top < fp + 4096 * 2,
+                    "address {top:#x} beyond footprint {fp:#x}"
+                );
             }
         }
     }

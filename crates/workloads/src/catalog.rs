@@ -231,10 +231,7 @@ mod tests {
         for app in ALL_APPS {
             let big = build(app, 4, Scale::bench()).footprint_bytes();
             let small = build(app, 4, Scale::ci()).footprint_bytes();
-            assert!(
-                big >= small,
-                "{app:?}: bench {big} < ci {small}"
-            );
+            assert!(big >= small, "{app:?}: bench {big} < ci {small}");
         }
     }
 

@@ -30,7 +30,11 @@ impl Region {
     ///
     /// Panics if `off` is outside the region.
     pub fn at(&self, off: u64) -> u64 {
-        assert!(off < self.bytes, "offset {off} outside region of {} B", self.bytes);
+        assert!(
+            off < self.bytes,
+            "offset {off} outside region of {} B",
+            self.bytes
+        );
         self.base + off
     }
 

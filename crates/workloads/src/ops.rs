@@ -279,10 +279,7 @@ mod tests {
         while let Some(op) = g.next_op() {
             seen.push(op);
         }
-        assert_eq!(
-            seen,
-            vec![Op::Compute(0), Op::Compute(1), Op::Compute(2)]
-        );
+        assert_eq!(seen, vec![Op::Compute(0), Op::Compute(1), Op::Compute(2)]);
     }
 
     #[test]

@@ -32,7 +32,12 @@ fn main() {
         ("CC-NUMA", ArchSpec::Numa),
         ("flat COMA", ArchSpec::Coma),
         ("1/1 AGG", ArchSpec::Agg { n_d: threads }),
-        ("1/4 AGG", ArchSpec::Agg { n_d: (threads / 4).max(1) }),
+        (
+            "1/4 AGG",
+            ArchSpec::Agg {
+                n_d: (threads / 4).max(1),
+            },
+        ),
     ] {
         let workload = build(app, threads, Scale::ci());
         let mut machine = Machine::build(spec, workload, 0.75);

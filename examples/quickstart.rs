@@ -30,7 +30,7 @@ fn main() {
             "  {:<8} {:>8} reads, avg {:>5} cycles",
             level.label(),
             n,
-            if n > 0 { lat / n } else { 0 }
+            lat.checked_div(n).unwrap_or(0)
         );
     }
     println!();

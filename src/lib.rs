@@ -12,5 +12,6 @@ pub use pimdsm;
 pub use pimdsm_engine as engine;
 pub use pimdsm_mem as mem;
 pub use pimdsm_net as net;
+pub use pimdsm_obs as obs;
 pub use pimdsm_proto as proto;
 pub use pimdsm_workloads as workloads;

@@ -48,7 +48,11 @@ fn lower_pressure_leaves_more_unused_d_memory() {
 fn dirty_lines_keep_no_home_place_holder() {
     // Write-heavy kernel: most lines end dirty-in-P, and the census can
     // never count more home copies than slots even then.
-    let w = Box::new(pimdsm_workloads::kernels::PrivateStream::new(4, 64 * 1024, 1));
+    let w = Box::new(pimdsm_workloads::kernels::PrivateStream::new(
+        4,
+        64 * 1024,
+        1,
+    ));
     let mut m = Machine::build(ArchSpec::Agg { n_d: 2 }, w, 0.5);
     let r = m.run();
     let c = r.census;

@@ -63,7 +63,12 @@ fn thread_accounting_is_consistent() {
 
 #[test]
 fn read_level_counts_sum_to_total_reads() {
-    let r = run(ArchSpec::Agg { n_d: 8 }, pimdsm_workloads::AppId::Fft, 8, 0.75);
+    let r = run(
+        ArchSpec::Agg { n_d: 8 },
+        pimdsm_workloads::AppId::Fft,
+        8,
+        0.75,
+    );
     let sum: u64 = r.proto.reads_by_level.iter().sum();
     assert_eq!(sum, r.proto.total_reads());
     // Latency sums only where reads exist.

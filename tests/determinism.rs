@@ -19,7 +19,10 @@ fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
         "{what}: read latencies"
     );
     assert_eq!(a.net.messages, b.net.messages, "{what}: messages");
-    assert_eq!(a.net.total_queueing, b.net.total_queueing, "{what}: queueing");
+    assert_eq!(
+        a.net.total_queueing, b.net.total_queueing,
+        "{what}: queueing"
+    );
     for (x, y) in a.threads.iter().zip(&b.threads) {
         assert_eq!(x, y, "{what}: thread accounting");
     }
