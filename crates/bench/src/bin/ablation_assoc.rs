@@ -1,49 +1,9 @@
-//! Ablation: P-node attraction-memory organization — associativity and
-//! index hashing. The paper uses 4-way set-associative memory caches;
-//! this sweep shows how conflict misses (and the write-backs of displaced
-//! master lines they trigger) respond to the organization.
+//! Regenerates Ablation: attraction-memory associativity and index hashing.
+//!
+//! Thin wrapper over the `ablation_assoc` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run ablation_assoc` is the same command with more knobs).
 
-use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads, Obs};
-use pimdsm_mem::CacheCfg;
-use pimdsm_workloads::{build, AppId};
-
-fn main() {
-    let mut obs = Obs::from_args("ablation_assoc");
-    let threads = default_threads();
-    let scale = default_scale();
-    println!("Ablation: attraction-memory organization (Swim, 1/1 ratio, 75% pressure)\n");
-    println!(
-        "{:<22} {:>14} {:>12} {:>10}",
-        "organization", "total cycles", "write-backs", "2hop"
-    );
-    for (label, ways, hashed) in [
-        ("direct-mapped", 1u32, false),
-        ("2-way", 2, false),
-        ("4-way (paper)", 4, false),
-        ("4-way + hashed index", 4, true),
-        ("8-way + hashed index", 8, true),
-    ] {
-        let w = build(AppId::Swim, threads, scale);
-        let mut m = Machine::build_custom_agg(w, 0.75, threads, |cfg| {
-            let lines = cfg.p_am.capacity_lines();
-            let rounded = lines.div_ceil(ways as u64) * ways as u64;
-            let mut am = CacheCfg::new(rounded * 64, ways, 6);
-            if hashed {
-                am = am.with_hashed_index();
-            }
-            cfg.p_am = am;
-            cfg.p_onchip_lines = rounded / 2;
-        })
-        .with_label(label);
-        let r = obs.run_machine(&mut m, &format!("Swim:{label}"));
-        println!(
-            "{:<22} {:>14} {:>12} {:>10}",
-            label,
-            r.total_cycles,
-            r.proto.write_backs,
-            r.proto.reads_by_level[pimdsm_proto::Level::Hop2.index()]
-        );
-    }
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("ablation_assoc")
 }

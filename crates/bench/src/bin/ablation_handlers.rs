@@ -1,34 +1,9 @@
-//! Ablation: sensitivity to the software protocol-handler cost (Table 2
-//! scaled by a factor). The paper assumes hardware controllers run at 70%
-//! of the software cost; this sweep shows how much the software-handler
-//! choice actually costs AGG on a D-node-intensive application.
+//! Regenerates Ablation: software protocol-handler cost sensitivity.
+//!
+//! Thin wrapper over the `ablation_handlers` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run ablation_handlers` is the same command with more knobs).
 
-use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads, Obs};
-use pimdsm_workloads::{build, AppId};
-
-fn main() {
-    let mut obs = Obs::from_args("ablation_handlers");
-    let threads = default_threads();
-    let scale = default_scale();
-    println!("Ablation: AGG handler-cost sensitivity (Dbase, 1/2 ratio, 75% pressure)\n");
-    println!("{:<10} {:>14} {:>10}", "factor", "total cycles", "vs 0.7x");
-    let mut base: Option<u64> = None;
-    for factor in [0.7, 1.0, 1.5, 2.0] {
-        let w = build(AppId::Dbase, threads, scale);
-        let mut m = Machine::build_custom_agg(w, 0.75, (threads / 2).max(1), |cfg| {
-            cfg.handler = cfg.handler.scaled(factor);
-        })
-        .with_label(format!("{factor:.1}x"));
-        let r = obs.run_machine(&mut m, &format!("Dbase:{factor:.1}x"));
-        let b = *base.get_or_insert(r.total_cycles);
-        println!(
-            "{:<10} {:>14} {:>10.3}",
-            format!("{factor:.1}x"),
-            r.total_cycles,
-            r.total_cycles as f64 / b as f64
-        );
-    }
-    println!("\n(0.7x is the hardware-controller cost the paper grants NUMA and COMA)");
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("ablation_handlers")
 }

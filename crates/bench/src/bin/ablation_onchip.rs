@@ -1,36 +1,9 @@
-//! Ablation: the fraction of P-node local memory that is on chip. The
-//! paper argues the on/off-chip split has only a modest impact because
-//! the latency difference (37 vs 57 cycles) is small; this sweep checks
-//! that on our simulator.
+//! Regenerates Ablation: on-chip fraction of P-node local memory.
+//!
+//! Thin wrapper over the `ablation_onchip` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run ablation_onchip` is the same command with more knobs).
 
-use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads, Obs};
-use pimdsm_workloads::{build, AppId};
-
-fn main() {
-    let mut obs = Obs::from_args("ablation_onchip");
-    let threads = default_threads();
-    let scale = default_scale();
-    println!("Ablation: on-chip fraction of P-node memory (Swim, 1/1 ratio, 75% pressure)\n");
-    println!("{:<12} {:>14} {:>10}", "on-chip", "total cycles", "vs 100%");
-    let mut base: Option<u64> = None;
-    for pct in [100u64, 50, 25, 0] {
-        let w = build(AppId::Swim, threads, scale);
-        let mut m = Machine::build_custom_agg(w, 0.75, threads, |cfg| {
-            cfg.p_onchip_lines = cfg.p_am.capacity_lines() * pct / 100;
-        })
-        .with_label(format!("{pct}% on-chip"));
-        let r = obs.run_machine(&mut m, &format!("Swim:{pct}%"));
-        let b = *base.get_or_insert(r.total_cycles);
-        println!(
-            "{:<12} {:>14} {:>10.3}",
-            format!("{pct}%"),
-            r.total_cycles,
-            r.total_cycles as f64 / b as f64
-        );
-    }
-    println!(
-        "\n(paper: \"the fraction of local memory that is on-chip has only a modest impact\")"
-    );
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("ablation_onchip")
 }

@@ -1,46 +1,9 @@
-//! Ablation: the SharedList (Section 2.2.2). With reuse disabled, a
-//! D-node that runs out of FreeList slots must page out immediately; with
-//! reuse enabled it first reclaims the duplicate copies of shared lines
-//! whose mastership lives in a P-node (at the price of 3-hop reads if the
-//! line is re-requested).
+//! Regenerates Ablation: D-node SharedList reclamation policy.
+//!
+//! Thin wrapper over the `ablation_sharedlist` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run ablation_sharedlist` is the same command with more knobs).
 
-use pimdsm::Machine;
-use pimdsm_bench::{default_scale, default_threads, Obs};
-use pimdsm_workloads::{build, AppId};
-
-fn main() {
-    let mut obs = Obs::from_args("ablation_sharedlist");
-    let threads = default_threads();
-    let scale = default_scale();
-    println!("Ablation: D-node SharedList reclamation (Barnes, 1/2 ratio, 90% pressure)\n");
-    println!(
-        "{:<26} {:>14} {:>10} {:>12} {:>10}",
-        "policy", "total cycles", "3hop", "page-outs", "faults"
-    );
-    for (label, reuse) in [
-        ("reuse SharedList (paper)", true),
-        ("no reuse (page out)", false),
-    ] {
-        let w = build(AppId::Barnes, threads, scale);
-        let mut m = Machine::build_custom_agg(w, 0.9, (threads / 2).max(1), |cfg| {
-            cfg.dnode.reuse_shared_list = reuse;
-        })
-        .with_label(label);
-        let r = obs.run_machine(&mut m, &format!("Barnes:{label}"));
-        println!(
-            "{:<26} {:>14} {:>10} {:>12} {:>10}",
-            label,
-            r.total_cycles,
-            r.proto.reads_by_level[pimdsm_proto::Level::Hop3.index()],
-            r.proto.page_outs,
-            r.proto.disk_faults
-        );
-    }
-    println!(
-        "
-(identical rows confirm the paper's Section 4.1 observation: with so many
-         dirty-in-P lines freeing their home slots, the SharedList is rarely — here
-         never — actually reclaimed, so discouraging its reuse costs nothing)"
-    );
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("ablation_sharedlist")
 }

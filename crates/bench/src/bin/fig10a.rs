@@ -1,73 +1,9 @@
-//! Regenerates Figure 10-(a): dynamic reconfiguration of Dbase on a
-//! 32-node AGG machine. The hash phase runs best at 16P&16D, the join
-//! phase at 28P&4D; the dynamic machine switches between them at the
-//! phase boundary, paying the paper's reconfiguration overhead model.
+//! Regenerates Figure 10-(a): dynamic reconfiguration of Dbase.
+//!
+//! Thin wrapper over the `fig10a` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run fig10a` is the same command with more knobs).
 
-use pimdsm::{Machine, ReconfigPlan};
-use pimdsm_bench::{default_scale, Obs};
-use pimdsm_workloads::build_dbase;
-
-fn main() {
-    let mut obs = Obs::from_args("fig10a");
-    let scale = default_scale();
-    println!("Figure 10-(a): Dbase on a 32-node AGG machine, 75% pressure");
-    println!("(every D-capable node carries the paper's 4x \"fatter\" memory, Fig. 2-(b))\n");
-    println!(
-        "{:<22} {:>14} {:>12} {:>10}",
-        "configuration", "total cycles", "vs 16&16", "reconf"
-    );
-
-    // Every D-node is a fat node: it holds what a 4-D-node machine needs
-    // per node, so the machine can be repartitioned without overflowing
-    // the surviving directories.
-    let fatten = |n_d: usize| {
-        let factor = (16 / n_d.min(16)).max(1) as u64;
-        move |cfg: &mut pimdsm_proto::AggCfg| {
-            cfg.dnode.data_lines *= factor;
-            cfg.dnode.onchip_lines *= factor;
-        }
-    };
-
-    // Static 16P & 16D.
-    let w = build_dbase(16, 16, scale, false);
-    let mut m = Machine::build_custom_agg(w, 0.75, 16, fatten(16)).with_label("static 16P&16D");
-    let r_16 = obs.run_machine(&mut m, "Dbase:static16&16");
-    println!(
-        "{:<22} {:>14} {:>12} {:>10}",
-        "static 16P & 16D", r_16.total_cycles, "1.000", "-"
-    );
-
-    // Static 28P & 4D.
-    let w = build_dbase(28, 28, scale, false);
-    let mut m = Machine::build_custom_agg(w, 0.75, 4, fatten(4)).with_label("static 28P&4D");
-    let r_28 = obs.run_machine(&mut m, "Dbase:static28&4");
-    println!(
-        "{:<22} {:>14} {:>12.3} {:>10}",
-        "static 28P & 4D",
-        r_28.total_cycles,
-        r_28.total_cycles as f64 / r_16.total_cycles as f64,
-        "-"
-    );
-
-    // Dynamic: hash at 16&16, reconfigure to 28&4 for the join.
-    let w = build_dbase(16, 28, scale, false);
-    let mut m =
-        Machine::build_custom_agg(w, 0.75, 16, fatten(16)).with_label("dynamic 16&16->28&4");
-    m.set_reconfig(ReconfigPlan::paper(28, 4));
-    let r_dyn = obs.run_machine(&mut m, "Dbase:dynamic");
-    println!(
-        "{:<22} {:>14} {:>12.3} {:>10}",
-        "dynamic 16&16 -> 28&4",
-        r_dyn.total_cycles,
-        r_dyn.total_cycles as f64 / r_16.total_cycles as f64,
-        r_dyn.reconfig_cycles
-    );
-
-    let best_static = r_16.total_cycles.min(r_28.total_cycles);
-    let gain = 100.0 * (1.0 - r_dyn.total_cycles as f64 / best_static as f64);
-    println!(
-        "\ndynamic reconfiguration vs best static: {gain:+.1}% \
-         (paper reports a 14% reduction)"
-    );
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("fig10a")
 }

@@ -1,43 +1,9 @@
-//! Regenerates Figure 10-(b): computation in memory for Dbase. In the
-//! Opt variant the D-node processors run the select scans (Section 2.4)
-//! and return only matching-record pointers; the P-nodes perform the
-//! join. Compared for several P&D combinations.
+//! Regenerates Figure 10-(b): computation in memory for Dbase.
+//!
+//! Thin wrapper over the `fig10b` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run fig10b` is the same command with more knobs).
 
-use pimdsm::{ArchSpec, Machine};
-use pimdsm_bench::{default_scale, Obs};
-use pimdsm_workloads::build_dbase;
-
-fn main() {
-    let mut obs = Obs::from_args("fig10b");
-    let scale = default_scale();
-    println!("Figure 10-(b): Dbase with computation in memory (AGG, 75% pressure)\n");
-    println!(
-        "{:<12} {:>14} {:>14} {:>12}",
-        "P & D", "Plain", "Opt", "reduction"
-    );
-    for (p, d) in [(16usize, 16usize), (24, 8), (28, 4)] {
-        let mut m = Machine::build(
-            ArchSpec::Agg { n_d: d },
-            build_dbase(p, p, scale, false),
-            0.75,
-        )
-        .with_label(format!("{p}P&{d}D plain"));
-        let plain = obs.run_machine(&mut m, &format!("Dbase:{p}P&{d}D:plain"));
-        let mut m = Machine::build(
-            ArchSpec::Agg { n_d: d },
-            build_dbase(p, p, scale, true),
-            0.75,
-        )
-        .with_label(format!("{p}P&{d}D opt"));
-        let opt = obs.run_machine(&mut m, &format!("Dbase:{p}P&{d}D:opt"));
-        println!(
-            "{:<12} {:>14} {:>14} {:>11.1}%",
-            format!("{p}P & {d}D"),
-            plain.total_cycles,
-            opt.total_cycles,
-            100.0 * (1.0 - opt.total_cycles as f64 / plain.total_cycles as f64)
-        );
-    }
-    println!("\n(paper reports ~70% reduction across configurations)");
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("fig10b")
 }

@@ -1,22 +1,9 @@
-//! Regenerates Figure 6: normalized execution time of the applications on
-//! NUMA, COMA and the AGG variants, split into Processor and Memory time.
+//! Regenerates Figure 6: normalized execution time on NUMA, COMA and the AGG variants.
+//!
+//! Thin wrapper over the `fig6` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run fig6` is the same command with more knobs).
 
-use pimdsm_bench::{default_scale, default_threads, fig6_configs, run_config_obs, Obs};
-use pimdsm_workloads::ALL_APPS;
-
-fn main() {
-    let mut obs = Obs::from_args("fig6");
-    let threads = default_threads();
-    let scale = default_scale();
-    println!("Figure 6: execution time normalized to NUMA (Processor / Memory split)");
-    println!("{threads} application threads; AGG pressures in the label\n");
-    for app in ALL_APPS {
-        let mut rows = Vec::new();
-        for cfg in fig6_configs(app) {
-            let r = run_config_obs(app, threads, scale, cfg, &mut obs);
-            rows.push((r.label.clone(), r.processor_time(), r.memory_time()));
-        }
-        pimdsm_bench::print_fig6_block(app, &rows);
-    }
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("fig6")
 }

@@ -1,35 +1,9 @@
-//! Regenerates Figure 7: the summed latency of all reads, broken down by
-//! the level that satisfied them (FLC / SLC / Memory / 2Hop / 3Hop),
-//! normalized to NUMA.
+//! Regenerates Figure 7: aggregated read latency by satisfaction level.
+//!
+//! Thin wrapper over the `fig7` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run fig7` is the same command with more knobs).
 
-use pimdsm_bench::{default_scale, default_threads, fig6_configs, run_config_obs, Obs};
-use pimdsm_proto::Level;
-use pimdsm_workloads::ALL_APPS;
-
-fn main() {
-    let mut obs = Obs::from_args("fig7");
-    let threads = default_threads();
-    let scale = default_scale();
-    println!("Figure 7: aggregated read latency by satisfaction level, normalized to NUMA\n");
-    for app in ALL_APPS {
-        println!("== {} ==", app.name());
-        println!(
-            "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            "config", "FLC", "SLC", "Memory", "2Hop", "3Hop", "Total"
-        );
-        let mut base = None;
-        for cfg in fig6_configs(app) {
-            let r = run_config_obs(app, threads, scale, cfg, &mut obs);
-            let lat = r.read_latency_by_level();
-            let total: u64 = lat.iter().sum();
-            let b = *base.get_or_insert(total.max(1)) as f64;
-            print!("{:<12}", r.label);
-            for l in Level::ALL {
-                print!(" {:>8.3}", lat[l.index()] as f64 / b);
-            }
-            println!(" {:>8.3}", total as f64 / b);
-        }
-        println!();
-    }
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("fig7")
 }

@@ -1,47 +1,9 @@
-//! Regenerates Figure 8: D-node memory utilization — the classification
-//! of every mapped line as Dirty-in-P-Node, Shared-in-P-Node, or
-//! D-Node-Only, at 75/50/25% memory pressure, normalized so the total
-//! D-node storage is 100.
+//! Regenerates Figure 8: D-node memory utilization by line state.
+//!
+//! Thin wrapper over the `fig8` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run fig8` is the same command with more knobs).
 
-use pimdsm::{ArchSpec, Machine};
-use pimdsm_bench::{default_scale, default_threads, reduced_ratio, Obs};
-use pimdsm_workloads::{build, ALL_APPS};
-
-fn main() {
-    let mut obs = Obs::from_args("fig8");
-    let threads = default_threads();
-    let scale = default_scale();
-    println!("Figure 8: state of memory lines, normalized to D-node storage = 100");
-    println!(
-        "{:<8} {:<6} {:>10} {:>11} {:>10} {:>9} {:>8}",
-        "appl.", "press", "DirtyInP", "SharedInP", "DNodeOnly", "OnDisk", "Unused"
-    );
-    for app in ALL_APPS {
-        for pressure in [0.75, 0.5, 0.25] {
-            let n_d = (threads / reduced_ratio(app)).max(1);
-            let w = build(app, threads, scale);
-            let mut m = Machine::build(ArchSpec::Agg { n_d }, w, pressure)
-                .with_label(format!("AGG{}", (pressure * 100.0) as u32));
-            let r = obs.run_machine(
-                &mut m,
-                &format!("{}:AGG{}", app.name(), (pressure * 100.0) as u32),
-            );
-            let c = r.census;
-            let norm = |x: u64| 100.0 * x as f64 / c.d_slots.max(1) as f64;
-            println!(
-                "{:<8} AGG{:<3} {:>10.1} {:>11.1} {:>10.1} {:>9.1} {:>8.1}",
-                app.name(),
-                (pressure * 100.0) as u32,
-                norm(c.dirty_in_p),
-                norm(c.shared_in_p),
-                norm(c.d_node_only),
-                norm(c.paged_out),
-                (c.unused_slots() as f64) * 100.0 / c.d_slots.max(1) as f64,
-            );
-        }
-        println!();
-    }
-    println!("(DirtyInP lines keep no home place holder; SharedInP lines may share their");
-    println!(" slot via the SharedList; negative Unused means SharedList slots were reused)");
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("fig8")
 }

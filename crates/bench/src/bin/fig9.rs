@@ -1,56 +1,9 @@
-//! Regenerates Figure 9: execution time across the (#P, #D) design space
-//! for each application, with problem size and total D-memory held fixed
-//! (static reconfigurability, Section 4.2).
+//! Regenerates Figure 9: execution time across the (#P, #D) design space.
+//!
+//! Thin wrapper over the `fig9` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run fig9` is the same command with more knobs).
 
-use pimdsm::{config, ArchSpec, Machine};
-use pimdsm_bench::{default_scale, Obs};
-use pimdsm_workloads::{build, ALL_APPS};
-
-fn main() {
-    let mut obs = Obs::from_args("fig9");
-    let scale = default_scale();
-    let p_counts = [2usize, 4, 8, 16, 32];
-    let d_counts = [2usize, 4, 8, 16];
-    println!("Figure 9: execution time (cycles) across P- and D-node counts");
-    println!("problem size and total D-memory fixed (sized at 2P&2D, AGG75)\n");
-    for app in ALL_APPS {
-        // Size the fixed total D-memory and per-P memory from the 2P&2D
-        // reference configuration at 75% pressure.
-        let reference = build(app, 2, scale);
-        let ref_cfg = config::resolve(&*reference, 0.75);
-        let total_d_lines = ref_cfg.total_mem_lines / 2;
-        let p_am_lines = ref_cfg.total_mem_lines / 2 / 2;
-
-        println!("== {} (rows: #P, cols: #D) ==", app.name());
-        print!("{:>6}", "");
-        for &d in &d_counts {
-            print!(" {d:>12}");
-        }
-        println!();
-        for &p in &p_counts {
-            print!("{p:>6}");
-            for &d in &d_counts {
-                if p + d > 64 {
-                    print!(" {:>12}", "-");
-                    continue;
-                }
-                let w = build(app, p, scale);
-                let mut m = Machine::build(
-                    ArchSpec::AggExplicit {
-                        n_d: d,
-                        p_am_lines,
-                        d_data_lines: (total_d_lines / d as u64).max(512),
-                    },
-                    w,
-                    0.75,
-                )
-                .with_label(format!("{p}P&{d}D"));
-                let r = obs.run_machine(&mut m, &format!("{}:{}P&{}D", app.name(), p, d));
-                print!(" {:>12}", r.total_cycles);
-            }
-            println!();
-        }
-        println!();
-    }
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("fig9")
 }

@@ -1,25 +1,9 @@
-//! Regenerates Table 1: architectural parameters — uncontended round-trip
-//! latencies, paper vs. measured on this simulator.
+//! Regenerates Table 1: uncontended round-trip latencies, paper vs. measured.
+//!
+//! Thin wrapper over the `table1` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run table1` is the same command with more knobs).
 
-use pimdsm::calibration::{measure, PAPER};
-use pimdsm_bench::Obs;
-
-fn main() {
-    let obs = Obs::from_args("table1");
-    let m = measure();
-    println!("Table 1: uncontended round-trip latencies (CPU cycles)");
-    println!("{:<28} {:>8} {:>10}", "device", "paper", "measured");
-    let rows = [
-        ("On-Chip L1", PAPER.l1, m.l1),
-        ("On-Chip L2", PAPER.l2, m.l2),
-        ("Local memory, on-chip", PAPER.mem_on, m.mem_on),
-        ("Local memory, off-chip", PAPER.mem_off, m.mem_off),
-        ("Remote memory, 2-node hop", PAPER.hop2, m.hop2),
-        ("Remote memory, 3-node hop", PAPER.hop3, m.hop3),
-    ];
-    for (name, paper, measured) in rows {
-        let delta = 100.0 * (measured as f64 - paper as f64) / paper as f64;
-        println!("{name:<28} {paper:>8} {measured:>10}   ({delta:+.1}%)");
-    }
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("table1")
 }

@@ -1,37 +1,9 @@
-//! Regenerates Table 2: latency and occupancy of the major protocol
-//! handlers, for the AGG software implementation and the hardware
-//! controllers of NUMA/COMA (70% of software, per Section 3).
+//! Regenerates Table 2: protocol handler costs.
+//!
+//! Thin wrapper over the `table2` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run table2` is the same command with more knobs).
 
-use pimdsm_bench::Obs;
-use pimdsm_proto::{ControllerKind, HandlerCosts, HandlerKind};
-
-fn main() {
-    let obs = Obs::from_args("table2");
-    println!("Table 2: protocol handler costs (processor cycles)");
-    for (label, kind) in [
-        (
-            "AGG (software handlers on D-node processors)",
-            ControllerKind::Software,
-        ),
-        (
-            "NUMA/COMA (custom hardware controllers, 70%)",
-            ControllerKind::Hardware,
-        ),
-    ] {
-        let c = HandlerCosts::paper(kind);
-        println!("\n{label}");
-        println!("{:<18} {:>8} {:>22}", "handler", "latency", "occupancy");
-        let (l, o) = c.cost(HandlerKind::Read, 0);
-        println!("{:<18} {:>8} {:>22}", "Read", l, o);
-        let (l, o) = c.cost(HandlerKind::ReadExclusive, 0);
-        println!(
-            "{:<18} {:>8} {:>14} + {}/inval",
-            "Read Exclusive", l, o, c.per_inval
-        );
-        let (l, o) = c.cost(HandlerKind::Acknowledgment, 0);
-        println!("{:<18} {:>8} {:>22}", "Acknowledgment", l, o);
-        let (l, o) = c.cost(HandlerKind::WriteBack, 0);
-        println!("{:<18} {:>8} {:>22}", "Write Back", l, o);
-    }
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("table2")
 }

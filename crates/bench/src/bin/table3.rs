@@ -1,36 +1,9 @@
-//! Regenerates Table 3: the applications, their paper problem sizes, their
-//! cache configurations, and the scaled sizes this harness actually runs.
+//! Regenerates Table 3: applications and scaled problem sizes.
+//!
+//! Thin wrapper over the `table3` suite: the run matrix, parallel
+//! executor, result cache and renderer all live in `pimdsm-lab`
+//! (`pimdsm-lab run table3` is the same command with more knobs).
 
-use pimdsm_bench::{default_scale, default_threads, Obs};
-use pimdsm_workloads::{build, ALL_APPS};
-
-fn main() {
-    let obs = Obs::from_args("table3");
-    let scale = default_scale();
-    let threads = default_threads();
-    println!("Table 3: applications (scaled footprints at the current scale, {threads} threads)");
-    println!(
-        "{:<8} {:<48} {:>9} {:>12}",
-        "appl.", "description & problem size (paper)", "L1,L2 KB", "scaled fp"
-    );
-    for app in ALL_APPS {
-        let (l1, l2) = app.cache_kb();
-        let w = build(app, threads, scale);
-        println!(
-            "{:<8} {:<48} {:>4},{:<4} {:>9} KiB",
-            app.name(),
-            app.description(),
-            l1,
-            l2,
-            w.footprint_bytes() / 1024
-        );
-    }
-    println!(
-        "\n(paper problem sizes are scaled by 1/{} and iteration counts by 1/{};",
-        scale.size_div, scale.iter_div
-    );
-    println!(
-        " memory pressure is preserved because machine DRAM is sized from the scaled footprint)"
-    );
-    obs.finish();
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::bin_main("table3")
 }

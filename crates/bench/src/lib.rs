@@ -1,370 +1,14 @@
-//! Shared harness for regenerating the paper's tables and figures.
+//! Thin wrappers regenerating the paper's tables and figures.
 //!
 //! Each binary in this crate regenerates one table or figure of the
-//! evaluation section (see `DESIGN.md` for the experiment index); this
-//! library holds the run matrix and formatting they share.
+//! evaluation section (see `DESIGN.md` for the experiment index). The
+//! run matrices, output formatting, CLI flags, parallel executor and
+//! result cache that used to live here all moved to the `pimdsm-lab`
+//! crate — a binary is now one [`pimdsm_lab::cli::bin_main`] call, and
+//! `pimdsm-lab run <suite>` is the same command with more knobs
+//! (`--jobs`, `--cache-dir`, `--scale`, ...).
+//!
+//! The `benches/` directory (criterion microbenchmarks of the simulator
+//! substrates) is unrelated to the figure binaries and stays here.
 
-use std::path::PathBuf;
-
-use pimdsm::{ArchSpec, Machine, RunReport};
-use pimdsm_engine::Cycle;
-use pimdsm_obs::{JsonValue, ToJson, Tracer};
-use pimdsm_workloads::{build, AppId, Scale};
-
-/// The machine configurations of Figure 6, in presentation order.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Config {
-    /// CC-NUMA at a given pressure (pressure only sizes memory; NUMA bars
-    /// are pressure-insensitive in the paper and plotted once).
-    Numa,
-    /// Flat COMA at `pressure`.
-    Coma {
-        /// Memory pressure (0.25 / 0.75).
-        pressure: f64,
-    },
-    /// AGG with a D:P ratio of `1/ratio` at `pressure`.
-    Agg {
-        /// P-nodes per D-node (1, 2 or 4).
-        ratio: usize,
-        /// Memory pressure (0.25 / 0.75).
-        pressure: f64,
-    },
-}
-
-impl Config {
-    /// Label in the paper's style ("1/4AGG75", "COMA25", "NUMA").
-    pub fn label(&self) -> String {
-        match self {
-            Config::Numa => "NUMA".to_string(),
-            Config::Coma { pressure } => format!("COMA{}", (pressure * 100.0) as u32),
-            Config::Agg { ratio, pressure } => {
-                format!("1/{}AGG{}", ratio, (pressure * 100.0) as u32)
-            }
-        }
-    }
-
-    /// Memory pressure used for sizing.
-    pub fn pressure(&self) -> f64 {
-        match self {
-            Config::Numa => 0.75,
-            Config::Coma { pressure } | Config::Agg { pressure, .. } => *pressure,
-        }
-    }
-}
-
-/// Runs one application under one configuration.
-pub fn run_config(app: AppId, threads: usize, scale: Scale, config: Config) -> RunReport {
-    let workload = build(app, threads, scale);
-    let spec = match config {
-        Config::Numa => ArchSpec::Numa,
-        Config::Coma { .. } => ArchSpec::Coma,
-        Config::Agg { ratio, .. } => ArchSpec::Agg {
-            n_d: (threads / ratio).max(1),
-        },
-    };
-    let mut machine = Machine::build(spec, workload, config.pressure()).with_label(config.label());
-    machine.run()
-}
-
-/// Like [`run_config`], but instrumented through [`Obs`]: the run is
-/// traced/sampled according to the binary's CLI flags and its report is
-/// collected for the machine-readable outputs.
-pub fn run_config_obs(
-    app: AppId,
-    threads: usize,
-    scale: Scale,
-    config: Config,
-    obs: &mut Obs,
-) -> RunReport {
-    let workload = build(app, threads, scale);
-    let spec = match config {
-        Config::Numa => ArchSpec::Numa,
-        Config::Coma { .. } => ArchSpec::Coma,
-        Config::Agg { ratio, .. } => ArchSpec::Agg {
-            n_d: (threads / ratio).max(1),
-        },
-    };
-    let mut machine = Machine::build(spec, workload, config.pressure()).with_label(config.label());
-    obs.run_machine(&mut machine, &format!("{}:{}", app.name(), config.label()))
-}
-
-/// Observability surface shared by every bench binary.
-///
-/// Parses the common CLI flags, instruments the machines the binary runs,
-/// and writes the machine-readable outputs at exit:
-///
-/// * `--trace <path>` — write a Chrome trace-event JSON (loadable in
-///   Perfetto / `chrome://tracing`) of **one** run: the first run whose
-///   key (`APP:LABEL`) contains the optional `--trace-only <substr>`
-///   filter, or simply the first run.
-/// * `--metrics <path>` — sample every run's counters each epoch
-///   (`--epoch <cycles>`, default 100000) and write the per-run
-///   time-series as JSON.
-/// * `--report <path>` — write every [`RunReport`] of the binary as JSON.
-///   Without the flag, the same document is written to
-///   `results/<bin>.json` when a `results/` directory exists in the
-///   working directory, so regenerating the text tables also refreshes
-///   the machine-readable results.
-pub struct Obs {
-    bin: &'static str,
-    trace_path: Option<PathBuf>,
-    trace_only: Option<String>,
-    metrics_path: Option<PathBuf>,
-    report_path: Option<PathBuf>,
-    epoch: Cycle,
-    tracer: Option<Tracer>,
-    reports: Vec<RunReport>,
-}
-
-impl Obs {
-    /// Parses the observability flags from `std::env::args`.
-    /// Unrecognized arguments are reported on stderr and ignored.
-    pub fn from_args(bin: &'static str) -> Obs {
-        let mut obs = Obs {
-            bin,
-            trace_path: None,
-            trace_only: None,
-            metrics_path: None,
-            report_path: None,
-            epoch: 100_000,
-            tracer: None,
-            reports: Vec::new(),
-        };
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            let mut value = |flag: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{flag} requires a value"))
-            };
-            match arg.as_str() {
-                "--trace" => obs.trace_path = Some(value("--trace").into()),
-                "--trace-only" => obs.trace_only = Some(value("--trace-only")),
-                "--metrics" => obs.metrics_path = Some(value("--metrics").into()),
-                "--report" => obs.report_path = Some(value("--report").into()),
-                "--epoch" => {
-                    obs.epoch = value("--epoch")
-                        .parse()
-                        .expect("--epoch takes a cycle count")
-                }
-                other => eprintln!("[obs] ignoring unknown argument {other:?}"),
-            }
-        }
-        obs
-    }
-
-    /// Attaches tracing/sampling to `machine` per the CLI flags. `key`
-    /// identifies the run for `--trace-only` matching ("FFT:1/1AGG75").
-    pub fn instrument(&mut self, machine: &mut Machine, key: &str) {
-        if self.trace_path.is_some() && self.tracer.is_none() {
-            let matches = self.trace_only.as_deref().is_none_or(|f| key.contains(f));
-            if matches {
-                let tracer = Tracer::enabled();
-                machine.attach_tracer(tracer.clone());
-                self.tracer = Some(tracer);
-                eprintln!("[obs] tracing run {key}");
-            }
-        }
-        if self.metrics_path.is_some() {
-            machine.sample_epochs(self.epoch);
-        }
-    }
-
-    /// Instruments `machine`, runs it, and records the report.
-    pub fn run_machine(&mut self, machine: &mut Machine, key: &str) -> RunReport {
-        self.instrument(machine, key);
-        let report = machine.run();
-        self.reports.push(report.clone());
-        report
-    }
-
-    /// Records an externally produced report (for binaries that run
-    /// machines through their own paths).
-    pub fn record(&mut self, report: &RunReport) {
-        self.reports.push(report.clone());
-    }
-
-    /// Writes the requested outputs. Call once at the end of `main`.
-    pub fn finish(self) {
-        if let Some(path) = &self.trace_path {
-            let tracer = self.tracer.unwrap_or_else(Tracer::enabled);
-            match tracer.write_chrome_json(path) {
-                Ok(()) => eprintln!(
-                    "[obs] wrote {} trace events to {}",
-                    tracer.len(),
-                    path.display()
-                ),
-                Err(e) => eprintln!("[obs] failed to write {}: {e}", path.display()),
-            }
-        }
-        if let Some(path) = &self.metrics_path {
-            let runs = JsonValue::arr(self.reports.iter().filter_map(|r| {
-                r.epochs.as_ref().map(|e| {
-                    JsonValue::obj([
-                        ("arch", JsonValue::str(r.arch.as_str())),
-                        ("app", JsonValue::str(r.app.as_str())),
-                        ("label", JsonValue::str(r.label.as_str())),
-                        ("epochs", e.to_json()),
-                    ])
-                })
-            }));
-            let doc = JsonValue::obj([
-                ("bin", JsonValue::str(self.bin)),
-                ("epoch_cycles", JsonValue::u64(self.epoch)),
-                ("runs", runs),
-            ]);
-            write_json(path, &doc, "epoch metrics");
-        }
-        let default_report = self.report_path.is_none()
-            && !self.reports.is_empty()
-            && std::path::Path::new("results").is_dir();
-        let report_path = self
-            .report_path
-            .clone()
-            .or_else(|| default_report.then(|| format!("results/{}.json", self.bin).into()));
-        if let Some(path) = report_path {
-            let doc = JsonValue::obj([
-                ("bin", JsonValue::str(self.bin)),
-                (
-                    "runs",
-                    JsonValue::arr(self.reports.iter().map(|r| r.to_json())),
-                ),
-            ]);
-            write_json(&path, &doc, "run reports");
-        }
-    }
-}
-
-fn write_json(path: &std::path::Path, doc: &JsonValue, what: &str) {
-    match std::fs::write(path, doc.render_pretty()) {
-        Ok(()) => eprintln!("[obs] wrote {what} to {}", path.display()),
-        Err(e) => eprintln!("[obs] failed to write {}: {e}", path.display()),
-    }
-}
-
-/// The per-app AGG reduced-D ratio of Figure 6 (1/2 for the apps that
-/// stress D-nodes, 1/4 otherwise).
-pub fn reduced_ratio(app: AppId) -> usize {
-    if app.wants_half_ratio() {
-        2
-    } else {
-        4
-    }
-}
-
-/// The seven machine configurations of Figure 6 for one application, in
-/// presentation order: NUMA, COMA at 25/75% pressure, 1/1AGG at 25/75%,
-/// and the app's reduced-D AGG at 25/75%.
-pub fn fig6_configs(app: AppId) -> Vec<Config> {
-    let r = reduced_ratio(app);
-    vec![
-        Config::Numa,
-        Config::Coma { pressure: 0.25 },
-        Config::Coma { pressure: 0.75 },
-        Config::Agg {
-            ratio: 1,
-            pressure: 0.25,
-        },
-        Config::Agg {
-            ratio: 1,
-            pressure: 0.75,
-        },
-        Config::Agg {
-            ratio: r,
-            pressure: 0.25,
-        },
-        Config::Agg {
-            ratio: r,
-            pressure: 0.75,
-        },
-    ]
-}
-
-/// Renders a fraction as a padded percentage.
-pub fn pct(x: f64) -> String {
-    format!("{:5.1}%", x * 100.0)
-}
-
-/// Standard thread count for the main comparison (the paper uses 32; a
-/// smaller count keeps quick runs fast).
-pub fn default_threads() -> usize {
-    std::env::var("PIMDSM_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(32)
-}
-
-/// Scale selected via `PIMDSM_SCALE` (full / bench / ci), default bench.
-pub fn default_scale() -> Scale {
-    match std::env::var("PIMDSM_SCALE").as_deref() {
-        Ok("full") => Scale::full(),
-        Ok("ci") => Scale::ci(),
-        _ => Scale::bench(),
-    }
-}
-
-/// Prints a normalized, two-component bar table in the paper's Figure 6
-/// shape.
-pub fn print_fig6_block(app: AppId, rows: &[(String, f64, f64)]) {
-    let base = rows
-        .first()
-        .map(|(_, p, m)| p + m)
-        .filter(|t| *t > 0.0)
-        .unwrap_or(1.0);
-    println!("\n== {} (normalized to {}) ==", app.name(), rows[0].0);
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "config", "Processor", "Memory", "Total"
-    );
-    for (label, proc_t, mem_t) in rows {
-        println!(
-            "{:<12} {:>10.3} {:>10.3} {:>10.3}",
-            label,
-            proc_t / base,
-            mem_t / base,
-            (proc_t + mem_t) / base
-        );
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn labels_match_paper_style() {
-        assert_eq!(Config::Numa.label(), "NUMA");
-        assert_eq!(Config::Coma { pressure: 0.25 }.label(), "COMA25");
-        assert_eq!(
-            Config::Agg {
-                ratio: 4,
-                pressure: 0.75
-            }
-            .label(),
-            "1/4AGG75"
-        );
-    }
-
-    #[test]
-    fn reduced_ratios_follow_table() {
-        assert_eq!(reduced_ratio(AppId::Fft), 2);
-        assert_eq!(reduced_ratio(AppId::Radix), 2);
-        assert_eq!(reduced_ratio(AppId::Ocean), 2);
-        assert_eq!(reduced_ratio(AppId::Barnes), 4);
-        assert_eq!(reduced_ratio(AppId::Dbase), 4);
-    }
-
-    #[test]
-    fn run_config_smoke() {
-        let r = run_config(
-            AppId::Fft,
-            4,
-            Scale::ci(),
-            Config::Agg {
-                ratio: 2,
-                pressure: 0.75,
-            },
-        );
-        assert_eq!(r.arch, "AGG");
-        assert!(r.total_cycles > 0);
-    }
-}
+pub use pimdsm_lab::cli::{bin_main, default_scale, default_threads};

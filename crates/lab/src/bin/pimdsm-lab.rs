@@ -1,0 +1,5 @@
+//! The experiment-orchestration CLI. See `pimdsm_lab::cli`.
+
+fn main() -> std::process::ExitCode {
+    pimdsm_lab::cli::main()
+}

@@ -1,0 +1,458 @@
+//! The `pimdsm-lab` command-line interface — and, through
+//! [`bin_main`], the whole implementation of the thin per-figure
+//! wrapper binaries (`fig6`, `table1`, ...).
+//!
+//! ```text
+//! pimdsm-lab list                    # name + title + point count per suite
+//! pimdsm-lab run fig6 fig7 --jobs 8  # run suites in parallel
+//! pimdsm-lab run --all               # every suite
+//! pimdsm-lab clean                   # drop the result cache
+//! ```
+//!
+//! The observability flags the bench binaries used to parse each on their
+//! own (`--trace`, `--trace-only`, `--metrics`, `--epoch`, `--report`)
+//! live here now, once, alongside the lab's own `--jobs`, `--cache-dir`,
+//! `--no-cache`, `--threads`, `--scale`, `--quiet` and
+//! `--require-hit-rate`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pimdsm::RunReport;
+use pimdsm_obs::{JsonValue, ToJson, Tracer};
+use pimdsm_workloads::Scale;
+
+use crate::cache::ResultCache;
+use crate::exec::{run_sweep, Instrumentation, SweepResult};
+use crate::suites::{find, Suite, SuiteCtx, ALL_SUITES};
+
+/// Default cache location, under the build tree so `git clean`/`cargo
+/// clean` wipe it with everything else.
+pub const DEFAULT_CACHE_DIR: &str = "target/lab-cache";
+
+/// Standard thread count for the main comparison (the paper uses 32; a
+/// smaller count keeps quick runs fast). `PIMDSM_THREADS` overrides.
+pub fn default_threads() -> usize {
+    std::env::var("PIMDSM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Scale selected via `PIMDSM_SCALE` (full / bench / ci), default bench.
+pub fn default_scale() -> Scale {
+    match std::env::var("PIMDSM_SCALE").as_deref() {
+        Ok("full") => Scale::full(),
+        Ok("ci") => Scale::ci(),
+        _ => Scale::bench(),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Command {
+    Run(Vec<String>),
+    List,
+    Clean,
+}
+
+struct Options {
+    command: Command,
+    jobs: usize,
+    cache_dir: PathBuf,
+    no_cache: bool,
+    threads: usize,
+    scale: Scale,
+    trace_path: Option<PathBuf>,
+    trace_only: Option<String>,
+    metrics_path: Option<PathBuf>,
+    epoch: u64,
+    report_path: Option<PathBuf>,
+    require_hit_rate: Option<f64>,
+    quiet: bool,
+}
+
+impl Options {
+    fn defaults(command: Command) -> Options {
+        Options {
+            command,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_dir: DEFAULT_CACHE_DIR.into(),
+            no_cache: false,
+            threads: default_threads(),
+            scale: default_scale(),
+            trace_path: None,
+            trace_only: None,
+            metrics_path: None,
+            epoch: 100_000,
+            report_path: None,
+            require_hit_rate: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_scale(v: &str) -> Result<Scale, String> {
+    match v {
+        "full" => Ok(Scale::full()),
+        "bench" => Ok(Scale::bench()),
+        "ci" => Ok(Scale::ci()),
+        other => Err(format!("--scale takes full|bench|ci, not {other:?}")),
+    }
+}
+
+/// Parses flags shared by the lab CLI and the wrapper binaries.
+/// Returns `Err` on a malformed value; unknown arguments are an error in
+/// `strict` mode (the lab CLI) and a warning otherwise (the wrappers,
+/// which historically ignored unknown flags).
+fn parse_flags(
+    args: impl Iterator<Item = String>,
+    opts: &mut Options,
+    strict: bool,
+) -> Result<(), String> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                opts.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1)
+            }
+            "--cache-dir" => opts.cache_dir = value("--cache-dir")?.into(),
+            "--no-cache" => opts.no_cache = true,
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--scale" => opts.scale = parse_scale(&value("--scale")?)?,
+            "--trace" => opts.trace_path = Some(value("--trace")?.into()),
+            "--trace-only" => opts.trace_only = Some(value("--trace-only")?),
+            "--metrics" => opts.metrics_path = Some(value("--metrics")?.into()),
+            "--epoch" => {
+                opts.epoch = value("--epoch")?
+                    .parse()
+                    .map_err(|e| format!("--epoch: {e}"))?
+            }
+            "--report" => opts.report_path = Some(value("--report")?.into()),
+            "--require-hit-rate" => {
+                opts.require_hit_rate = Some(
+                    value("--require-hit-rate")?
+                        .parse()
+                        .map_err(|e| format!("--require-hit-rate: {e}"))?,
+                )
+            }
+            "--quiet" | "-q" => opts.quiet = true,
+            other if strict => return Err(format!("unknown argument {other:?}")),
+            other => eprintln!("[lab] ignoring unknown argument {other:?}"),
+        }
+    }
+    Ok(())
+}
+
+fn parse_lab_args(argv: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut argv = argv.peekable();
+    let command = match argv.next().as_deref() {
+        Some("run") => {
+            let mut names = Vec::new();
+            let mut all = false;
+            while let Some(a) = argv.peek() {
+                if a.starts_with('-') && a != "--all" {
+                    break;
+                }
+                let a = argv.next().unwrap();
+                if a == "--all" {
+                    all = true;
+                } else {
+                    names.push(a);
+                }
+            }
+            if all {
+                names = ALL_SUITES.iter().map(|s| s.name.to_string()).collect();
+            }
+            if names.is_empty() {
+                return Err("run: name at least one suite, or pass --all".into());
+            }
+            Command::Run(names)
+        }
+        Some("list") => Command::List,
+        Some("clean") => Command::Clean,
+        Some(other) => return Err(format!("unknown command {other:?} (run | list | clean)")),
+        None => return Err("usage: pimdsm-lab <run|list|clean> [flags]".into()),
+    };
+    let mut opts = Options::defaults(command);
+    parse_flags(argv, &mut opts, true)?;
+    Ok(opts)
+}
+
+/// Entry point of the `pimdsm-lab` binary.
+pub fn main() -> ExitCode {
+    let opts = match parse_lab_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pimdsm-lab: {e}");
+            eprintln!("usage: pimdsm-lab <run|list|clean> [suites|--all] [flags]");
+            eprintln!(
+                "flags: --jobs N --cache-dir DIR --no-cache --threads N --scale full|bench|ci"
+            );
+            eprintln!("       --trace F --trace-only SUBSTR --metrics F --epoch N --report F");
+            eprintln!("       --require-hit-rate PCT --quiet");
+            return ExitCode::FAILURE;
+        }
+    };
+    dispatch(opts)
+}
+
+/// Entry point of the thin per-figure wrapper binaries: runs one suite
+/// with the shared flag surface (unknown flags warn instead of failing,
+/// as the old binaries did).
+pub fn bin_main(suite: &'static str) -> ExitCode {
+    let mut opts = Options::defaults(Command::Run(vec![suite.to_string()]));
+    if let Err(e) = parse_flags(std::env::args().skip(1), &mut opts, false) {
+        eprintln!("{suite}: {e}");
+        return ExitCode::FAILURE;
+    }
+    dispatch(opts)
+}
+
+fn dispatch(opts: Options) -> ExitCode {
+    match &opts.command {
+        Command::List => {
+            let ctx = SuiteCtx {
+                threads: opts.threads,
+                scale: opts.scale,
+            };
+            println!("{:<20} {:>7}  description", "suite", "points");
+            for s in ALL_SUITES {
+                println!("{:<20} {:>7}  {}", s.name, s.points(&ctx).len(), s.title);
+            }
+            ExitCode::SUCCESS
+        }
+        Command::Clean => {
+            let removed = ResultCache::new(&opts.cache_dir).clean();
+            eprintln!(
+                "[lab] removed {removed} cache entries from {}",
+                opts.cache_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Command::Run(names) => run_suites(&names.clone(), &opts),
+    }
+}
+
+fn run_suites(names: &[String], opts: &Options) -> ExitCode {
+    let mut suites: Vec<&'static Suite> = Vec::new();
+    for name in names {
+        match find(name) {
+            Some(s) => suites.push(s),
+            None => {
+                eprintln!("[lab] no suite named {name:?} (try `pimdsm-lab list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let single = suites.len() == 1;
+    if !single
+        && (opts.trace_path.is_some() || opts.metrics_path.is_some() || opts.report_path.is_some())
+    {
+        eprintln!("[lab] --trace/--metrics/--report apply to a single suite; run one at a time");
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = SuiteCtx {
+        threads: opts.threads,
+        scale: opts.scale,
+    };
+    let cache = (!opts.no_cache).then(|| ResultCache::new(&opts.cache_dir));
+    let inst = Instrumentation {
+        trace: opts.trace_path.is_some(),
+        trace_only: opts.trace_only.clone(),
+        epoch: opts.metrics_path.is_some().then_some(opts.epoch),
+    };
+
+    let mut failed = false;
+    let (mut hits, mut misses) = (0usize, 0usize);
+    let start = std::time::Instant::now();
+    for suite in &suites {
+        let points = suite.points(&ctx);
+        let n = points.len();
+        let result = run_sweep(points, cache.as_ref(), &inst, opts.jobs, !opts.quiet);
+        hits += result.hits;
+        misses += result.misses;
+
+        if let Some(path) = &opts.trace_path {
+            write_trace(path, &result);
+        }
+        if let Some(path) = &opts.metrics_path {
+            write_metrics(path, suite.name, opts.epoch, &result);
+        }
+
+        if let Some(reports) = result.reports() {
+            print!("{}", suite.render(&ctx, &reports));
+            write_report_doc(suite.name, opts.report_path.as_deref(), &reports);
+        } else {
+            for o in &result.outcomes {
+                if let Err(e) = &o.report {
+                    eprintln!("[lab] {}: point {} FAILED: {e}", suite.name, o.spec.key());
+                }
+            }
+            eprintln!("[lab] {}: not rendered (failed points above)", suite.name);
+            failed = true;
+        }
+        if !opts.quiet {
+            eprintln!(
+                "[lab] {}: {} points, {} cached, {} ran, {:.1}% hits, {:.2?}",
+                suite.name,
+                n,
+                result.hits,
+                result.misses,
+                result.hit_rate() * 100.0,
+                result.wall
+            );
+        }
+    }
+    if !opts.quiet && suites.len() > 1 {
+        let total = hits + misses;
+        let rate = if total == 0 {
+            100.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        };
+        eprintln!(
+            "[lab] total: {total} points, {hits} cached, {misses} ran, {rate:.1}% hits, {:.2?}",
+            start.elapsed()
+        );
+    }
+    if let Some(required) = opts.require_hit_rate {
+        let total = hits + misses;
+        let rate = if total == 0 {
+            100.0
+        } else {
+            100.0 * hits as f64 / total as f64
+        };
+        if rate < required {
+            eprintln!("[lab] cache hit rate {rate:.1}% below required {required:.1}%");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_trace(path: &Path, result: &SweepResult) {
+    // Mirror the old Obs behavior: when tracing was requested but no run
+    // matched the filter, an empty (but valid) trace is still written.
+    let json = result
+        .trace_json
+        .clone()
+        .unwrap_or_else(|| Tracer::enabled().to_chrome_json());
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[lab] wrote trace to {}", path.display()),
+        Err(e) => eprintln!("[lab] failed to write {}: {e}", path.display()),
+    }
+}
+
+fn write_metrics(path: &Path, bin: &str, epoch: u64, result: &SweepResult) {
+    let runs = JsonValue::arr(result.outcomes.iter().filter_map(|o| {
+        let r = o.report.as_ref().ok()?;
+        let e = r.epochs.as_ref()?;
+        Some(JsonValue::obj([
+            ("arch", JsonValue::str(r.arch.as_str())),
+            ("app", JsonValue::str(r.app.as_str())),
+            ("label", JsonValue::str(r.label.as_str())),
+            ("epochs", e.to_json()),
+        ]))
+    }));
+    let doc = JsonValue::obj([
+        ("bin", JsonValue::str(bin.to_string())),
+        ("epoch_cycles", JsonValue::u64(epoch)),
+        ("runs", runs),
+    ]);
+    write_json(path, &doc, "epoch metrics");
+}
+
+/// Writes the `{"bin", "runs"}` report document — to `--report`'s path
+/// when given, else to `results/<suite>.json` when a `results/` directory
+/// exists (the old binaries' convention, so regenerating text tables also
+/// refreshes the machine-readable results).
+fn write_report_doc(bin: &str, explicit: Option<&Path>, reports: &[&RunReport]) {
+    let default = explicit.is_none() && !reports.is_empty() && Path::new("results").is_dir();
+    let path: Option<PathBuf> = explicit
+        .map(Path::to_path_buf)
+        .or_else(|| default.then(|| format!("results/{bin}.json").into()));
+    let Some(path) = path else { return };
+    let doc = JsonValue::obj([
+        ("bin", JsonValue::str(bin.to_string())),
+        ("runs", JsonValue::arr(reports.iter().map(|r| r.to_json()))),
+    ]);
+    write_json(&path, &doc, "run reports");
+}
+
+fn write_json(path: &Path, doc: &JsonValue, what: &str) {
+    match std::fs::write(path, doc.render_pretty()) {
+        Ok(()) => eprintln!("[lab] wrote {what} to {}", path.display()),
+        Err(e) => eprintln!("[lab] failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn parses_run_with_suites_and_flags() {
+        let o = parse_lab_args(args("run fig6 fig7 --jobs 4 --no-cache --scale ci")).unwrap();
+        assert_eq!(o.command, Command::Run(vec!["fig6".into(), "fig7".into()]));
+        assert_eq!(o.jobs, 4);
+        assert!(o.no_cache);
+        assert_eq!(o.scale, Scale::ci());
+    }
+
+    #[test]
+    fn run_all_expands_to_every_suite() {
+        let o = parse_lab_args(args("run --all")).unwrap();
+        let Command::Run(names) = o.command else {
+            panic!("not a run")
+        };
+        assert_eq!(names.len(), ALL_SUITES.len());
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(parse_lab_args(args("frobnicate")).is_err());
+        assert!(parse_lab_args(args("run fig6 --frobnicate")).is_err());
+        assert!(parse_lab_args(args("run")).is_err());
+        assert!(parse_lab_args(args("run fig6 --scale huge")).is_err());
+    }
+
+    #[test]
+    fn wrapper_parsing_tolerates_unknown_flags() {
+        let mut o = Options::defaults(Command::Run(vec!["fig6".into()]));
+        parse_flags(args("--totally-unknown --jobs 2"), &mut o, false).unwrap();
+        assert_eq!(o.jobs, 2);
+    }
+
+    #[test]
+    fn obs_flags_parse_like_the_old_binaries() {
+        let o = parse_lab_args(args(
+            "run fig6 --trace t.json --trace-only FFT --metrics m.json --epoch 5000 --report r.json",
+        ))
+        .unwrap();
+        assert_eq!(o.trace_path.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(o.trace_only.as_deref(), Some("FFT"));
+        assert_eq!(o.metrics_path.as_deref(), Some(Path::new("m.json")));
+        assert_eq!(o.epoch, 5000);
+        assert_eq!(o.report_path.as_deref(), Some(Path::new("r.json")));
+    }
+}

@@ -1,0 +1,31 @@
+//! Declarative experiment orchestration for the PIM-DSM simulator.
+//!
+//! The lab turns the evaluation — every figure, table and ablation of the
+//! paper, plus arbitrary user sweeps — into three orthogonal pieces:
+//!
+//! * [`spec`]: a [`PointSpec`](spec::PointSpec) describes one simulation
+//!   point as plain data with a stable *canonical string*;
+//!   [`suites`](crate::suites) names the standard sweeps.
+//! * [`exec`]: a work-stealing executor runs points on `--jobs` worker
+//!   threads. Points are individually deterministic and results are
+//!   ordered by position, so output bytes never depend on the job count.
+//! * [`cache`]: a content-addressed result cache keyed by (canonical
+//!   string, workspace source fingerprint) makes re-runs and interrupted
+//!   sweeps resume instantly, and self-invalidates on any code change.
+//!
+//! The [`cli`] module is the single flag surface shared by the
+//! `pimdsm-lab` binary and the thin per-figure wrappers in
+//! `crates/bench`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cli;
+pub mod exec;
+pub mod spec;
+pub mod suites;
+
+pub use cache::{workspace_fingerprint, ResultCache};
+pub use exec::{run_sweep, Instrumentation, PointOutcome, SweepResult};
+pub use spec::{Config, MachineSpec, PointSpec, Tweak, WorkloadSpec};
+pub use suites::{find, Suite, SuiteCtx, ALL_SUITES};

@@ -1,0 +1,486 @@
+//! The declarative experiment model.
+//!
+//! A [`PointSpec`] fully describes **one** simulation point — which
+//! workload, on which machine, at which scale — as plain data: no
+//! closures, no floats with ambiguous text forms, nothing that cannot be
+//! serialized into the stable *canonical string* the result cache hashes.
+//! Every machine variation the evaluation needs (the paper's seven
+//! Figure 6 configurations, Figure 9's explicit sizing, Figure 10-(a)'s
+//! fattened reconfigurable nodes, and all four ablation knobs) is a
+//! [`MachineSpec`]/[`Tweak`] variant, so adding a new sweep is adding
+//! data, not code.
+
+use pimdsm::{ArchSpec, Machine, ReconfigPlan};
+use pimdsm_mem::CacheCfg;
+use pimdsm_workloads::{build, build_dbase, AppId, Scale};
+
+/// The machine configurations of Figure 6, in presentation order.
+///
+/// (Previously `pimdsm_bench::Config`; it moved here when the run matrix
+/// became part of the declarative spec model.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// CC-NUMA (pressure only sizes memory; NUMA bars are
+    /// pressure-insensitive in the paper and plotted once).
+    Numa,
+    /// Flat COMA at `pressure_pct`% memory pressure.
+    Coma {
+        /// Memory pressure, percent (25 / 75).
+        pressure_pct: u32,
+    },
+    /// AGG with a D:P ratio of `1/ratio` at `pressure_pct`%.
+    Agg {
+        /// P-nodes per D-node (1, 2 or 4).
+        ratio: usize,
+        /// Memory pressure, percent (25 / 75).
+        pressure_pct: u32,
+    },
+}
+
+impl Config {
+    /// Label in the paper's style ("1/4AGG75", "COMA25", "NUMA").
+    pub fn label(&self) -> String {
+        match self {
+            Config::Numa => "NUMA".to_string(),
+            Config::Coma { pressure_pct } => format!("COMA{pressure_pct}"),
+            Config::Agg {
+                ratio,
+                pressure_pct,
+            } => format!("1/{ratio}AGG{pressure_pct}"),
+        }
+    }
+
+    /// Memory pressure used for sizing.
+    pub fn pressure(&self) -> f64 {
+        match self {
+            Config::Numa => 0.75,
+            Config::Coma { pressure_pct } | Config::Agg { pressure_pct, .. } => {
+                *pressure_pct as f64 / 100.0
+            }
+        }
+    }
+
+    fn canonical(&self) -> String {
+        match self {
+            Config::Numa => "numa".to_string(),
+            Config::Coma { pressure_pct } => format!("coma:press={pressure_pct}"),
+            Config::Agg {
+                ratio,
+                pressure_pct,
+            } => format!("agg:ratio={ratio}:press={pressure_pct}"),
+        }
+    }
+}
+
+/// Which workload a point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// A catalog application with `threads` application threads.
+    App {
+        /// Application.
+        app: AppId,
+        /// Thread count.
+        threads: usize,
+    },
+    /// The Dbase model with distinct phase thread counts and optional
+    /// computation-in-memory offload (Figures 10-(a)/(b)).
+    Dbase {
+        /// Hash-phase threads.
+        hash_threads: usize,
+        /// Join-phase threads.
+        join_threads: usize,
+        /// Run the select scans on the D-node processors.
+        offload: bool,
+    },
+}
+
+impl WorkloadSpec {
+    fn canonical(&self) -> String {
+        match self {
+            WorkloadSpec::App { app, threads } => {
+                format!("app={}:threads={threads}", app.name())
+            }
+            WorkloadSpec::Dbase {
+                hash_threads,
+                join_threads,
+                offload,
+            } => format!("dbase:hash={hash_threads}:join={join_threads}:offload={offload}"),
+        }
+    }
+
+    /// Display name of the application.
+    pub fn app_name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::App { app, .. } => app.name(),
+            WorkloadSpec::Dbase { .. } => "Dbase",
+        }
+    }
+}
+
+/// A configuration adjustment applied to the standard AGG sizing —
+/// the declarative form of the ablation binaries' closure tweaks.
+///
+/// All quantities are integers (percent, per-mille, factors) so the
+/// canonical cache key never formats a float.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tweak {
+    /// No adjustment.
+    None,
+    /// Figure 10-(a): every D-capable node carries `factor`× the per-node
+    /// Data/on-chip capacity so the machine can repartition without
+    /// overflowing the surviving directories (the paper's "fatter"
+    /// memory, Fig. 2-(b)).
+    FattenDnode {
+        /// Capacity multiplier.
+        factor: u64,
+    },
+    /// Scale the software handler cost table by `milli`/1000.
+    HandlerScale {
+        /// Scale factor in thousandths (700 = the paper's hardware 0.7×).
+        milli: u32,
+    },
+    /// Set the on-chip fraction of P-node local memory to `pct`%.
+    OnchipPct {
+        /// Percent of the attraction memory resident on chip.
+        pct: u64,
+    },
+    /// Reorganize the P-node attraction memory.
+    AmOrg {
+        /// Set associativity.
+        ways: u32,
+        /// Hash the set index.
+        hashed: bool,
+    },
+    /// Enable/disable SharedList reclamation.
+    SharedList {
+        /// Whether the SharedList may be reclaimed.
+        reuse: bool,
+    },
+}
+
+impl Tweak {
+    fn canonical(&self) -> String {
+        match self {
+            Tweak::None => "none".to_string(),
+            Tweak::FattenDnode { factor } => format!("fatten={factor}"),
+            Tweak::HandlerScale { milli } => format!("handler={milli}m"),
+            Tweak::OnchipPct { pct } => format!("onchip={pct}%"),
+            Tweak::AmOrg { ways, hashed } => format!("am={ways}w:hashed={hashed}"),
+            Tweak::SharedList { reuse } => format!("sharedlist={reuse}"),
+        }
+    }
+
+    /// Applies the adjustment to a resolved AGG configuration.
+    pub fn apply(&self, cfg: &mut pimdsm_proto::AggCfg) {
+        match *self {
+            Tweak::None => {}
+            Tweak::FattenDnode { factor } => {
+                cfg.dnode.data_lines *= factor;
+                cfg.dnode.onchip_lines *= factor;
+            }
+            Tweak::HandlerScale { milli } => {
+                cfg.handler = cfg.handler.scaled(milli as f64 / 1000.0);
+            }
+            Tweak::OnchipPct { pct } => {
+                cfg.p_onchip_lines = cfg.p_am.capacity_lines() * pct / 100;
+            }
+            Tweak::AmOrg { ways, hashed } => {
+                let lines = cfg.p_am.capacity_lines();
+                let rounded = lines.div_ceil(ways as u64) * ways as u64;
+                let mut am = CacheCfg::new(rounded * 64, ways, 6);
+                if hashed {
+                    am = am.with_hashed_index();
+                }
+                cfg.p_am = am;
+                cfg.p_onchip_lines = rounded / 2;
+            }
+            Tweak::SharedList { reuse } => {
+                cfg.dnode.reuse_shared_list = reuse;
+            }
+        }
+    }
+}
+
+/// Which machine a point runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineSpec {
+    /// One of the standard Figure 6 configurations.
+    Arch(Config),
+    /// AGG with explicit per-node memory sizing (Figure 9 keeps total
+    /// D-memory fixed while node counts vary).
+    AggExplicit {
+        /// D-node count.
+        n_d: usize,
+        /// Lines of tagged local memory per P-node.
+        p_am_lines: u64,
+        /// Data-array lines per D-node.
+        d_data_lines: u64,
+        /// Memory pressure, percent.
+        pressure_pct: u32,
+    },
+    /// AGG with a [`Tweak`] applied after standard sizing, optionally
+    /// carrying a dynamic-reconfiguration plan (Figure 10-(a)).
+    CustomAgg {
+        /// D-node count.
+        n_d: usize,
+        /// Memory pressure, percent.
+        pressure_pct: u32,
+        /// Configuration adjustment.
+        tweak: Tweak,
+        /// `(target_p, target_d)` for [`ReconfigPlan::paper`], if the run
+        /// reconfigures dynamically.
+        reconfig: Option<(usize, usize)>,
+    },
+}
+
+impl MachineSpec {
+    fn canonical(&self) -> String {
+        match self {
+            MachineSpec::Arch(c) => format!("arch:{}", c.canonical()),
+            MachineSpec::AggExplicit {
+                n_d,
+                p_am_lines,
+                d_data_lines,
+                pressure_pct,
+            } => format!("aggx:d={n_d}:pam={p_am_lines}:ddata={d_data_lines}:press={pressure_pct}"),
+            MachineSpec::CustomAgg {
+                n_d,
+                pressure_pct,
+                tweak,
+                reconfig,
+            } => {
+                let rc = match reconfig {
+                    Some((p, d)) => format!("{p}p{d}d"),
+                    None => "none".to_string(),
+                };
+                format!(
+                    "custom:d={n_d}:press={pressure_pct}:tweak={}:reconfig={rc}",
+                    tweak.canonical()
+                )
+            }
+        }
+    }
+}
+
+/// One fully-specified simulation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Workload to run.
+    pub workload: WorkloadSpec,
+    /// Machine to run it on.
+    pub machine: MachineSpec,
+    /// Problem-size scaling.
+    pub scale: Scale,
+    /// Display label attached to the run (part of the report, hence part
+    /// of the cache key).
+    pub label: String,
+}
+
+impl PointSpec {
+    /// `"APP:LABEL"` — the key `--trace-only` filters match against.
+    pub fn key(&self) -> String {
+        format!("{}:{}", self.workload.app_name(), self.label)
+    }
+
+    /// The stable canonical form hashed into the cache key. Two specs
+    /// producing the same canonical string are the same experiment.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v1|workload={}|machine={}|scale={}/{}|label={}",
+            self.workload.canonical(),
+            self.machine.canonical(),
+            self.scale.size_div,
+            self.scale.iter_div,
+            self.label,
+        )
+    }
+
+    /// Builds the (not yet run) machine this point describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is inconsistent (e.g. a reconfiguration plan on
+    /// a workload without a reconfiguration point) — suite constructors
+    /// are expected to produce valid specs.
+    pub fn build_machine(&self) -> Machine {
+        let workload = match self.workload {
+            WorkloadSpec::App { app, threads } => build(app, threads, self.scale),
+            WorkloadSpec::Dbase {
+                hash_threads,
+                join_threads,
+                offload,
+            } => build_dbase(hash_threads, join_threads, self.scale, offload),
+        };
+        let machine = match self.machine {
+            MachineSpec::Arch(config) => {
+                let threads = match self.workload {
+                    WorkloadSpec::App { threads, .. } => threads,
+                    WorkloadSpec::Dbase { hash_threads, .. } => hash_threads,
+                };
+                let spec = match config {
+                    Config::Numa => ArchSpec::Numa,
+                    Config::Coma { .. } => ArchSpec::Coma,
+                    Config::Agg { ratio, .. } => ArchSpec::Agg {
+                        n_d: (threads / ratio).max(1),
+                    },
+                };
+                Machine::build(spec, workload, config.pressure())
+            }
+            MachineSpec::AggExplicit {
+                n_d,
+                p_am_lines,
+                d_data_lines,
+                pressure_pct,
+            } => Machine::build(
+                ArchSpec::AggExplicit {
+                    n_d,
+                    p_am_lines,
+                    d_data_lines,
+                },
+                workload,
+                pressure_pct as f64 / 100.0,
+            ),
+            MachineSpec::CustomAgg {
+                n_d,
+                pressure_pct,
+                tweak,
+                reconfig,
+            } => {
+                let mut m =
+                    Machine::build_custom_agg(workload, pressure_pct as f64 / 100.0, n_d, |cfg| {
+                        tweak.apply(cfg)
+                    });
+                if let Some((p, d)) = reconfig {
+                    m.set_reconfig(ReconfigPlan::paper(p, d));
+                }
+                m
+            }
+        };
+        machine.with_label(self.label.clone())
+    }
+}
+
+/// The per-app AGG reduced-D ratio of Figure 6 (1/2 for the apps that
+/// stress D-nodes, 1/4 otherwise).
+pub fn reduced_ratio(app: AppId) -> usize {
+    if app.wants_half_ratio() {
+        2
+    } else {
+        4
+    }
+}
+
+/// The seven machine configurations of Figure 6 for one application, in
+/// presentation order: NUMA, COMA at 25/75% pressure, 1/1AGG at 25/75%,
+/// and the app's reduced-D AGG at 25/75%.
+pub fn fig6_configs(app: AppId) -> Vec<Config> {
+    let r = reduced_ratio(app);
+    vec![
+        Config::Numa,
+        Config::Coma { pressure_pct: 25 },
+        Config::Coma { pressure_pct: 75 },
+        Config::Agg {
+            ratio: 1,
+            pressure_pct: 25,
+        },
+        Config::Agg {
+            ratio: 1,
+            pressure_pct: 75,
+        },
+        Config::Agg {
+            ratio: r,
+            pressure_pct: 25,
+        },
+        Config::Agg {
+            ratio: r,
+            pressure_pct: 75,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point() -> PointSpec {
+        PointSpec {
+            workload: WorkloadSpec::App {
+                app: AppId::Fft,
+                threads: 4,
+            },
+            machine: MachineSpec::Arch(Config::Agg {
+                ratio: 2,
+                pressure_pct: 75,
+            }),
+            scale: Scale::ci(),
+            label: "1/2AGG75".into(),
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(Config::Numa.label(), "NUMA");
+        assert_eq!(Config::Coma { pressure_pct: 25 }.label(), "COMA25");
+        assert_eq!(
+            Config::Agg {
+                ratio: 4,
+                pressure_pct: 75
+            }
+            .label(),
+            "1/4AGG75"
+        );
+    }
+
+    #[test]
+    fn reduced_ratios_follow_table() {
+        assert_eq!(reduced_ratio(AppId::Fft), 2);
+        assert_eq!(reduced_ratio(AppId::Radix), 2);
+        assert_eq!(reduced_ratio(AppId::Ocean), 2);
+        assert_eq!(reduced_ratio(AppId::Barnes), 4);
+        assert_eq!(reduced_ratio(AppId::Dbase), 4);
+    }
+
+    #[test]
+    fn canonical_distinguishes_every_field() {
+        let base = point();
+        let mut other = base.clone();
+        other.label = "X".into();
+        assert_ne!(base.canonical(), other.canonical());
+
+        let mut other = base.clone();
+        other.scale = Scale::bench();
+        assert_ne!(base.canonical(), other.canonical());
+
+        let mut other = base.clone();
+        other.workload = WorkloadSpec::App {
+            app: AppId::Ocean,
+            threads: 4,
+        };
+        assert_ne!(base.canonical(), other.canonical());
+
+        let mut other = base.clone();
+        other.machine = MachineSpec::Arch(Config::Agg {
+            ratio: 2,
+            pressure_pct: 25,
+        });
+        assert_ne!(base.canonical(), other.canonical());
+    }
+
+    #[test]
+    fn canonical_is_stable_across_clones() {
+        assert_eq!(point().canonical(), point().clone().canonical());
+    }
+
+    #[test]
+    fn point_runs_end_to_end() {
+        let r = point().build_machine().run();
+        assert_eq!(r.arch, "AGG");
+        assert_eq!(r.label, "1/2AGG75");
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn key_matches_trace_filter_shape() {
+        assert_eq!(point().key(), "FFT:1/2AGG75");
+    }
+}

@@ -6,7 +6,7 @@
 //! can later be reassigned (D-node reconfiguration moves the pages an
 //! ex-D-node was serving) or unmapped (paged out to disk).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::Page;
 
@@ -29,8 +29,14 @@ pub type NodeId = usize;
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_shift: u32,
-    homes: HashMap<Page, NodeId>,
-    per_node: HashMap<NodeId, u64>,
+    // `BTreeMap` (not `HashMap`) so every sweep over pages — page-out
+    // victim scans, reconfiguration migrations — observes a stable,
+    // sorted order. The simulator's bit-determinism across runs depends
+    // on this: `HashMap` iteration order varies per process (seeded
+    // `RandomState`) and leaked into simulated time through
+    // [`PageTable::pages_homed_at`].
+    homes: BTreeMap<Page, NodeId>,
+    per_node: BTreeMap<NodeId, u64>,
 }
 
 impl PageTable {
@@ -38,8 +44,8 @@ impl PageTable {
     pub fn new(page_shift: u32) -> Self {
         PageTable {
             page_shift,
-            homes: HashMap::new(),
-            per_node: HashMap::new(),
+            homes: BTreeMap::new(),
+            per_node: BTreeMap::new(),
         }
     }
 
@@ -103,7 +109,9 @@ impl PageTable {
         self.per_node.get(&node).copied().unwrap_or(0)
     }
 
-    /// All pages homed at `node`, in unspecified order.
+    /// All pages homed at `node`, in ascending page order (deterministic:
+    /// reconfiguration migrations iterate this list, so its order is part
+    /// of the simulated behavior).
     pub fn pages_homed_at(&self, node: NodeId) -> Vec<Page> {
         self.homes
             .iter()
@@ -122,7 +130,7 @@ impl PageTable {
         self.homes.is_empty()
     }
 
-    /// Iterates over `(page, home)` pairs in unspecified order.
+    /// Iterates over `(page, home)` pairs in ascending page order.
     pub fn iter(&self) -> impl Iterator<Item = (Page, NodeId)> + '_ {
         self.homes.iter().map(|(&p, &h)| (p, h))
     }
@@ -175,9 +183,21 @@ mod tests {
         pt.home_or_assign(1, || 0);
         pt.home_or_assign(2, || 1);
         pt.home_or_assign(3, || 0);
-        let mut at0 = pt.pages_homed_at(0);
-        at0.sort_unstable();
+        let at0 = pt.pages_homed_at(0);
         assert_eq!(at0, vec![1, 3]);
         assert_eq!(pt.len(), 3);
+    }
+
+    #[test]
+    fn pages_homed_at_is_sorted_regardless_of_touch_order() {
+        let mut pt = PageTable::new(12);
+        for &p in &[9u64, 2, 17, 4, 11] {
+            pt.home_or_assign(p, || 0);
+        }
+        assert_eq!(
+            pt.pages_homed_at(0),
+            vec![2, 4, 9, 11, 17],
+            "migration sweeps depend on a deterministic page order"
+        );
     }
 }

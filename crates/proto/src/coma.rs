@@ -11,7 +11,7 @@
 //! bounded number of tries spill to disk (counted; essentially never
 //! happens below 100% memory pressure).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pimdsm_engine::{Cycle, Server};
 use pimdsm_mem::{line_of, CacheCfg, Line, PageTable};
@@ -110,7 +110,9 @@ fn victim_class(s: &AmState) -> u32 {
 pub struct ComaSystem {
     cfg: ComaCfg,
     nodes: Vec<ComaNode>,
-    dir: HashMap<Line, DirEntry>,
+    // Sorted-key map: directory sweeps (the end-of-run census and any
+    // whole-directory scan) must observe a deterministic order.
+    dir: BTreeMap<Line, DirEntry>,
     pages: PageTable,
     net: Network,
     stats: ProtoStats,
@@ -140,7 +142,7 @@ impl ComaSystem {
         let net = Network::new(Mesh::for_nodes(cfg.nodes), cfg.net);
         ComaSystem {
             pages: PageTable::new(cfg.page_shift),
-            dir: HashMap::new(),
+            dir: BTreeMap::new(),
             nodes,
             net,
             stats: ProtoStats::default(),

@@ -23,7 +23,7 @@
 //! protocol orchestration (who sends which message when) lives in
 //! [`crate::agg`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pimdsm_engine::{Cycle, Server};
 use pimdsm_mem::{Dram, KeyedQueue, Line, Page, Residency};
@@ -121,7 +121,11 @@ pub struct DNodeStats {
 #[derive(Debug, Clone)]
 pub struct DNode {
     cfg: DNodeCfg,
-    dir: HashMap<Line, DirEntry>,
+    // Sorted-key map: directory sweeps (census, reconfiguration entry
+    // eviction, page-out scans) iterate this structure, and their order
+    // is part of the simulated behavior — `BTreeMap` keeps it
+    // run-to-run deterministic where `HashMap` would not be.
+    dir: BTreeMap<Line, DirEntry>,
     free_slots: u64,
     shared_list: KeyedQueue<Line>,
     mapped_pages: KeyedQueue<Page>,
@@ -144,7 +148,7 @@ impl DNode {
         assert!(cfg.data_lines > 0, "D-node needs a nonempty Data array");
         let transfer = cfg.line_bytes.div_ceil(cfg.mem_bytes_per_cycle);
         DNode {
-            dir: HashMap::new(),
+            dir: BTreeMap::new(),
             free_slots: cfg.data_lines,
             shared_list: KeyedQueue::new(),
             mapped_pages: KeyedQueue::new(),
@@ -219,7 +223,7 @@ impl DNode {
         self.dir.get(&line)
     }
 
-    /// Iterates over all directory entries.
+    /// Iterates over all directory entries in ascending line order.
     pub fn entries(&self) -> impl Iterator<Item = (Line, &DirEntry)> {
         self.dir.iter().map(|(&l, e)| (l, e))
     }

@@ -9,7 +9,7 @@
 //! lines forward to the owner (3 hops) with a sharing write-back to the
 //! home; writes invalidate sharers and collect acknowledgments.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pimdsm_engine::{Cycle, Server};
 use pimdsm_mem::{line_of, CacheCfg, Dram, Line, PageTable};
@@ -96,7 +96,9 @@ struct NumaNode {
 pub struct NumaSystem {
     cfg: NumaCfg,
     nodes: Vec<NumaNode>,
-    dir: HashMap<Line, DirEntry>,
+    // Sorted-key map: directory sweeps (the end-of-run census and any
+    // whole-directory scan) must observe a deterministic order.
+    dir: BTreeMap<Line, DirEntry>,
     pages: PageTable,
     net: Network,
     stats: ProtoStats,
@@ -130,7 +132,7 @@ impl NumaSystem {
         let net = Network::new(Mesh::for_nodes(cfg.nodes), cfg.net);
         NumaSystem {
             pages: PageTable::new(cfg.page_shift),
-            dir: HashMap::new(),
+            dir: BTreeMap::new(),
             nodes,
             net,
             stats: ProtoStats::default(),

@@ -61,3 +61,53 @@ fn census_is_reproducible() {
     let b = run(ArchSpec::Agg { n_d: 2 }, AppId::Ocean).census;
     assert_eq!(a, b);
 }
+
+/// The Figure 10-(a) shape at CI scale: a fattened AGG machine running
+/// Dbase with a dynamic reconfiguration at the hash/join phase boundary.
+/// The D-to-P conversion sweeps pages and directory entries, which
+/// historically iterated `HashMap`s — the one nondeterminism that leaked
+/// into simulated time. Guard the whole path bit-exactly.
+fn run_dynamic_reconfig() -> (RunReport, Vec<pimdsm_obs::TraceEvent>) {
+    use pimdsm::ReconfigPlan;
+    use pimdsm_obs::Tracer;
+    use pimdsm_workloads::build_dbase;
+
+    // 4 hash threads at 4P&4D, reconfiguring to 6P&2D for the 6-thread
+    // join — every D-capable node carries 4x "fatter" memory, as in the
+    // paper's Fig. 2-(b).
+    let w = build_dbase(4, 6, Scale::ci(), false);
+    let mut m = pimdsm::Machine::build_custom_agg(w, 0.75, 4, |cfg| {
+        cfg.dnode.data_lines *= 4;
+        cfg.dnode.onchip_lines *= 4;
+    });
+    m.set_reconfig(ReconfigPlan::paper(6, 2));
+    let tracer = Tracer::enabled();
+    m.attach_tracer(tracer.clone());
+    let report = m.run();
+    (report, tracer.events_sorted())
+}
+
+#[test]
+fn dynamic_reconfiguration_is_bit_deterministic() {
+    use pimdsm_obs::ToJson;
+
+    let (ra, ea) = run_dynamic_reconfig();
+    let (rb, eb) = run_dynamic_reconfig();
+    assert!(ra.reconfig_cycles > 0, "the machine actually reconfigured");
+    assert!(
+        ea.iter().any(|e| e.name == "reconfig"),
+        "the reconfiguration span was traced"
+    );
+    assert_identical(&ra, &rb, "AGG/Dbase dynamic reconfig");
+    assert_eq!(ra.census, rb.census, "dynamic reconfig: census");
+    assert_eq!(
+        ra.to_json().render_pretty(),
+        rb.to_json().render_pretty(),
+        "dynamic reconfig: full report must be byte-identical"
+    );
+    assert_eq!(ea.len(), eb.len(), "dynamic reconfig: event count");
+    assert_eq!(
+        ea, eb,
+        "dynamic reconfig: exact event sequences must be equal"
+    );
+}
