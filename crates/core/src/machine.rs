@@ -364,6 +364,16 @@ impl Machine {
         }
     }
 
+    /// Runs the full-sweep coherence oracle over the memory system's
+    /// current state (see `pimdsm_proto::check`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coherence invariant is violated.
+    pub fn check_coherence(&self) {
+        self.system.sys_ref().check_coherence();
+    }
+
     /// Access to the underlying AGG system (for tests and benches).
     ///
     /// # Panics
@@ -775,6 +785,30 @@ mod tests {
                 let r = run(spec, w, 0.75);
                 assert!(r.total_cycles > 0, "{app:?} on {spec:?}");
             }
+        }
+    }
+
+    #[test]
+    fn read_breakdown_decomposes_read_latency() {
+        // Figure 7's decomposition must be exact on every architecture:
+        // each level's component breakdown sums to that level's total
+        // summed read latency.
+        for spec in [ArchSpec::Numa, ArchSpec::Coma, ArchSpec::Agg { n_d: 2 }] {
+            let w = build(AppId::Radix, 4, Scale::ci());
+            let r = run(spec, w, 0.75);
+            let latency = r.read_latency_by_level();
+            let breakdown = r.read_breakdown_by_level();
+            for (lvl, row) in breakdown.iter().enumerate() {
+                assert_eq!(
+                    row.iter().sum::<Cycle>(),
+                    latency[lvl],
+                    "{spec:?} level {lvl}: breakdown must sum to the read latency"
+                );
+            }
+            assert!(
+                latency.iter().sum::<Cycle>() > 0,
+                "{spec:?}: run recorded no read latency"
+            );
         }
     }
 

@@ -88,6 +88,16 @@ impl RunReport {
         self.proto.read_latency_by_level
     }
 
+    /// Figure 7's component decomposition: for each access level, the
+    /// summed read latency split into cache / network / handler / DRAM /
+    /// queueing cycles (indexed by [`pimdsm_obs::breakdown`]). Each row
+    /// sums to the matching [`read_latency_by_level`](Self::read_latency_by_level)
+    /// entry — the transaction walk attributes every cycle to exactly one
+    /// component.
+    pub fn read_breakdown_by_level(&self) -> [[Cycle; 5]; 5] {
+        self.proto.read_breakdown_by_level
+    }
+
     /// Total summed read latency.
     pub fn total_read_latency(&self) -> Cycle {
         self.proto.total_read_latency()

@@ -3,9 +3,9 @@
 //! The lab turns the evaluation — every figure, table and ablation of the
 //! paper, plus arbitrary user sweeps — into three orthogonal pieces:
 //!
-//! * [`spec`]: a [`PointSpec`](spec::PointSpec) describes one simulation
+//! * [`spec`]: a [`PointSpec`] describes one simulation
 //!   point as plain data with a stable *canonical string*;
-//!   [`suites`](crate::suites) names the standard sweeps.
+//!   [`suites`] names the standard sweeps.
 //! * [`exec`]: a work-stealing executor runs points on `--jobs` worker
 //!   threads. Points are individually deterministic and results are
 //!   ordered by position, so output bytes never depend on the job count.

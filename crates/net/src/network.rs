@@ -122,9 +122,20 @@ impl Network {
     }
 
     /// Sends `bytes` from `from` to `to` starting at `now`; returns the
-    /// delivery cycle. A self-send returns `now` (handled inside the node).
+    /// delivery cycle. A self-send returns `now` (handled inside the node):
+    /// it moves no bytes, books no links and counts in no statistics, but
+    /// an enabled tracer records a `net.local` instant so protocol walks
+    /// that resolve at the issuing node stay visible in the trace.
     pub fn send(&mut self, from: usize, to: usize, bytes: u32, now: Cycle) -> Cycle {
         if from == to {
+            self.tracer.instant(
+                track::NET,
+                self.links.len() as u32,
+                "local",
+                "net.local",
+                now,
+                &[("node", from as u64), ("bytes", bytes as u64)],
+            );
             return now;
         }
         let ser = (bytes as u64).div_ceil(self.cfg.bytes_per_cycle);
@@ -309,12 +320,26 @@ mod tests {
         let t = Tracer::enabled();
         n.attach_tracer(t.clone());
         n.send(0, 3, 64, 0);
-        n.send(5, 5, 64, 0); // self-send: no events
+        n.send(5, 5, 64, 0); // self-send: no link spans, no delivery
         let events = t.events_sorted();
         let links = events.iter().filter(|e| e.cat == "net.link").count();
         let msgs = events.iter().filter(|e| e.cat == "net.msg").count();
         assert_eq!(links, n.hops(0, 3));
         assert_eq!(msgs, 1);
+    }
+
+    #[test]
+    fn self_send_traces_a_local_instant_without_stats() {
+        let mut n = net();
+        let t = Tracer::enabled();
+        n.attach_tracer(t.clone());
+        assert_eq!(n.send(7, 7, 80, 42), 42);
+        let events = t.events_sorted();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].cat, "net.local");
+        assert_eq!(events[0].ts, 42);
+        assert_eq!(n.stats(), NetStats::default(), "self-sends are free");
+        assert_eq!(n.total_link_busy(), 0);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Component labels for per-transaction latency breakdowns.
+//!
+//! A memory transaction's end-to-end latency decomposes into five
+//! components — the machine-checked analogue of the paper's Figure 7
+//! stacked bars. The protocol layer attributes every cycle of a
+//! transaction walk to exactly one component, so the five entries always
+//! sum to the transaction's total latency. The indices below are shared
+//! between the protocol crate (which accumulates the breakdown) and the
+//! report layer (which serializes it).
+
+/// Cycles spent in the requesting node's private caches: probes, tag
+/// checks and line fills.
+pub const CACHE: usize = 0;
+
+/// Cycles spent on interconnect transfer (injection, link serialization,
+/// hop latency, ejection).
+pub const NETWORK: usize = 1;
+
+/// Cycles spent executing protocol handlers (directory-processor or
+/// controller latency after dispatch).
+pub const HANDLER: usize = 2;
+
+/// Cycles spent waiting on DRAM ports (local or remote memory access),
+/// including disk service for paged-out lines.
+pub const DRAM: usize = 3;
+
+/// Cycles spent queueing for contended resources: busy links and busy
+/// protocol controllers.
+pub const QUEUE: usize = 4;
+
+/// Component labels, indexed by the constants above.
+pub const COMPONENTS: [&str; 5] = ["cache", "network", "handler", "dram", "queue"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_line_up_with_indices() {
+        assert_eq!(COMPONENTS[CACHE], "cache");
+        assert_eq!(COMPONENTS[NETWORK], "network");
+        assert_eq!(COMPONENTS[HANDLER], "handler");
+        assert_eq!(COMPONENTS[DRAM], "dram");
+        assert_eq!(COMPONENTS[QUEUE], "queue");
+    }
+}

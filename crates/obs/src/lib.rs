@@ -9,11 +9,14 @@
 //!   read-level mix over configurable cycle windows.
 //! * [`json`] — a small dependency-free JSON value model, renderer and
 //!   parser used for `report.json`, metrics files and trace round-trips.
+//! * [`breakdown`] — the shared component labels for per-transaction
+//!   latency breakdowns (cache / network / handler / DRAM / queueing).
 //!
 //! The tracer is designed so that a *disabled* tracer costs a single
 //! `Option` branch per emission site and allocates nothing; hot paths pay
 //! essentially zero when observability is off (the default).
 
+pub mod breakdown;
 pub mod json;
 pub mod metrics;
 pub mod trace;

@@ -10,19 +10,27 @@
 //! incoming line first. Injections that no memory will absorb within a
 //! bounded number of tries spill to disk (counted; essentially never
 //! happens below 100% memory pressure).
+//!
+//! The shared per-node substrate (homing, interconnect, handler costs,
+//! statistics, tracing) lives in the [`Fabric`]; each memory transaction
+//! walks over [`Txn`] steps so contended resources are booked in protocol
+//! order and every cycle of latency is attributed to a component.
 
 use std::collections::BTreeMap;
 
-use pimdsm_engine::{Cycle, Server};
-use pimdsm_mem::{line_of, CacheCfg, Line, PageTable};
-use pimdsm_net::{Mesh, NetCfg, NetStats, Network};
+use pimdsm_engine::{Cycle, Server, ServerGrant};
+use pimdsm_mem::{line_of, CacheCfg, Line};
+use pimdsm_net::{Mesh, NetCfg, Network};
+use pimdsm_obs::breakdown::NETWORK;
 
 use crate::common::{
     Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
-    MsgSize, NodeId, NodeSet, PreloadKind, ProtoStats,
+    MsgSize, NodeId, NodeSet, PreloadKind,
 };
-use crate::pnode::{PNodeStore, WriteProbe};
-use crate::system::{data_bytes, MemSystem};
+use crate::fabric::Fabric;
+use crate::pnode::{victim_class, PNodeStore, WriteProbe};
+use crate::system::MemSystem;
+use crate::txn::{cache_hit, Txn, TxnKind};
 
 /// Configuration of a [`ComaSystem`].
 #[derive(Debug, Clone)]
@@ -81,71 +89,62 @@ impl ComaCfg {
     }
 }
 
+/// Directory entry of one line (the flat-COMA home holds only this state,
+/// not necessarily the data).
 #[derive(Debug, Clone, Copy, Default)]
-struct DirEntry {
-    sharers: NodeSet,
-    owner: Option<NodeId>,
-    master: Option<NodeId>,
-    on_disk: bool,
-}
-
-#[derive(Debug)]
-struct ComaNode {
-    store: PNodeStore,
-    ctrl: Server,
-}
-
-/// COMA replacement priority: invalid ways are free, then shared
-/// non-master lines, then master, then dirty (Section 3).
-fn victim_class(s: &AmState) -> u32 {
-    match s {
-        AmState::Shared => 2,
-        AmState::SharedMaster => 1,
-        AmState::Dirty => 0,
-    }
+pub struct DirEntry {
+    /// Nodes whose attraction memory holds a copy.
+    pub sharers: NodeSet,
+    /// Exclusive (dirty) holder, if any.
+    pub owner: Option<NodeId>,
+    /// Holder of the master copy.
+    pub master: Option<NodeId>,
+    /// The only copy was spilled to disk by a forced injection.
+    pub on_disk: bool,
 }
 
 /// The flat-COMA machine.
 #[derive(Debug)]
 pub struct ComaSystem {
     cfg: ComaCfg,
-    nodes: Vec<ComaNode>,
-    // Sorted-key map: directory sweeps (the end-of-run census and any
-    // whole-directory scan) must observe a deterministic order.
+    nodes: Vec<PNodeStore>,
+    ctrls: Vec<Server>,
+    // Sorted-key map: directory sweeps (the end-of-run census, the
+    // coherence oracle) must observe a deterministic order.
     dir: BTreeMap<Line, DirEntry>,
-    pages: PageTable,
-    net: Network,
-    stats: ProtoStats,
+    fab: Fabric,
 }
 
 impl ComaSystem {
     /// Builds an idle COMA machine.
     pub fn new(cfg: ComaCfg) -> Self {
         assert!(cfg.nodes > 0 && cfg.nodes <= NodeSet::MAX_NODES);
-        // Calibrate device latencies so the end-to-end local round trip
-        // (L2 probe + AM tag check + device + fill) lands on Table 1.
-        let overhead = cfg.lat.l2 + cfg.lat.am_tag_check + cfg.lat.fill;
         let nodes = (0..cfg.nodes)
-            .map(|_| ComaNode {
-                store: PNodeStore::new(
+            .map(|_| {
+                PNodeStore::calibrated(
                     cfg.l1,
                     cfg.l2,
                     cfg.am,
                     cfg.onchip_lines as usize,
-                    cfg.lat.mem_on.saturating_sub(overhead),
-                    cfg.lat.mem_off.saturating_sub(overhead),
+                    &cfg.lat,
                     cfg.mem_bytes_per_cycle,
-                ),
-                ctrl: Server::new(),
+                )
             })
             .collect();
         let net = Network::new(Mesh::for_nodes(cfg.nodes), cfg.net);
+        let fab = Fabric::new(
+            cfg.line_shift,
+            cfg.page_shift,
+            cfg.lat,
+            cfg.msg,
+            cfg.handler,
+            net,
+        );
         ComaSystem {
-            pages: PageTable::new(cfg.page_shift),
+            ctrls: (0..cfg.nodes).map(|_| Server::new()).collect(),
             dir: BTreeMap::new(),
             nodes,
-            net,
-            stats: ProtoStats::default(),
+            fab,
             cfg,
         }
     }
@@ -157,56 +156,123 @@ impl ComaSystem {
 
     /// Total injections performed so far (exposed for tests/benches).
     pub fn injections(&self) -> u64 {
-        self.stats.injections
+        self.fab.stats.injections
     }
 
-    fn line_bytes(&self) -> u64 {
-        1 << self.cfg.line_shift
+    /// Attraction-memory state of a line at `node`, without LRU effects.
+    pub fn am_state(&self, node: NodeId, line: Line) -> Option<AmState> {
+        self.nodes[node].am.peek(line).copied()
     }
 
-    fn msg_ctrl(&self) -> u32 {
-        self.cfg.msg.ctrl
+    /// The directory entry of a line, if one exists.
+    pub fn dir_entry(&self, line: Line) -> Option<&DirEntry> {
+        self.dir.get(&line)
     }
 
-    fn msg_data(&self) -> u32 {
-        data_bytes(self.cfg.msg.data_header, self.cfg.line_shift)
+    pub(crate) fn dir_lines(&self) -> Vec<Line> {
+        self.dir.keys().copied().collect()
+    }
+
+    pub(crate) fn n_nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    pub(crate) fn pstore_ref(&self, p: NodeId) -> &PNodeStore {
+        &self.nodes[p]
+    }
+
+    /// Drops an address from a node's private caches without touching its
+    /// attraction memory or the directory — a probe helper for tests
+    /// (equivalent to capacity-evicting the line from the SRAM caches).
+    pub fn purge_caches(&mut self, node: NodeId, addr: u64) {
+        let line = line_of(addr, self.cfg.line_shift);
+        self.nodes[node].purge_caches(line);
     }
 
     /// Home (directory) of a line: first-touch, with the physical frame —
     /// and hence the directory entry — spilling to the least-loaded node
     /// once the toucher's share of frames is exhausted.
     fn home_of(&mut self, line: Line, toucher: NodeId) -> NodeId {
-        let page = line >> (self.cfg.page_shift - self.cfg.line_shift);
-        if let Some(h) = self.pages.home(page) {
-            return h;
-        }
-        let lines_per_page = 1u64 << (self.cfg.page_shift - self.cfg.line_shift);
-        let cap = self.cfg.am.capacity_lines() / lines_per_page;
-        let home = if self.pages.pages_at(toucher) < cap {
-            toucher
-        } else {
-            (0..self.cfg.nodes)
-                .min_by_key(|&n| (self.pages.pages_at(n), n))
-                .expect("at least one node")
-        };
-        self.pages.home_or_assign(page, || home)
+        let cap = self.cfg.am.capacity_lines() / self.fab.lines_per_page();
+        self.fab
+            .first_touch_home(line, toucher, self.cfg.nodes, cap)
     }
 
-    fn dispatch(&mut self, node: NodeId, kind: HandlerKind, invals: u32, at: Cycle) -> Cycle {
-        let (l, o) = self.cfg.handler.cost(kind, invals);
-        self.nodes[node].ctrl.dispatch(at, l, o).reply_at
+    fn dispatch(&mut self, node: NodeId, kind: HandlerKind, invals: u32, at: Cycle) -> ServerGrant {
+        self.fab
+            .dispatch(&mut self.ctrls[node], node, kind, invals, at)
     }
 
     /// Local memory (AM data) access for a line already resident at
     /// `node`.
     fn mem_access(&mut self, node: NodeId, line: Line, at: Cycle) -> Cycle {
         let res = self.nodes[node]
-            .store
             .am
             .touch(line)
             .expect("line must be resident for mem_access");
-        let bytes = self.line_bytes();
-        self.nodes[node].store.mem_access(res, at, bytes)
+        let bytes = self.fab.line_bytes();
+        self.nodes[node].mem_access(res, at, bytes)
+    }
+
+    /// Supplies the line's data to `node` from holder `k`, behind the
+    /// home's already-dispatched handler: straight from the home's memory
+    /// when `k == home`, else via a forward hop to `k` (whose controller
+    /// runs a Read handler — a master fetch when `count_master_fetch`).
+    /// Returns the resulting access level.
+    fn supply_from(
+        &mut self,
+        tx: &mut Txn,
+        node: NodeId,
+        home: NodeId,
+        k: NodeId,
+        line: Line,
+        count_master_fetch: bool,
+    ) -> Level {
+        debug_assert_ne!(k, node, "supplier cannot be the requestor");
+        let data = self.fab.msg_data();
+        if k == home {
+            let m = self.mem_access(home, line, tx.at());
+            tx.dram(m);
+            tx.send(&mut self.fab, home, node, data);
+            Level::Hop2
+        } else {
+            if count_master_fetch {
+                self.fab.stats.master_fetches += 1;
+            }
+            let ctrl = self.fab.msg_ctrl();
+            let fwd = tx.send(&mut self.fab, home, k, ctrl);
+            let g2 = self.dispatch(k, HandlerKind::Read, 0, fwd);
+            tx.handler(g2);
+            let m = self.mem_access(k, line, tx.at());
+            tx.dram(m);
+            tx.send(&mut self.fab, k, node, data);
+            if home == node {
+                Level::Hop2
+            } else {
+                Level::Hop3
+            }
+        }
+    }
+
+    /// The home round of a cold (first-touch) access: dispatch `kind` at
+    /// the home, which grants the materialized line to the requestor.
+    fn cold_round(&mut self, tx: &mut Txn, node: NodeId, home: NodeId, kind: HandlerKind) -> Level {
+        if home == node {
+            let g = self.dispatch(node, kind, 0, tx.at());
+            tx.handler(g);
+            Level::LocalMem
+        } else {
+            if kind == HandlerKind::ReadExclusive {
+                self.fab.stats.remote_writes += 1;
+            }
+            let ctrl = self.fab.msg_ctrl();
+            let data = self.fab.msg_data();
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            let g = self.dispatch(home, kind, 0, t1);
+            tx.handler(g);
+            tx.send(&mut self.fab, home, node, data);
+            Level::Hop2
+        }
     }
 
     /// Invalidates every node in `targets` (caches and AM), acks to
@@ -219,19 +285,12 @@ impl ComaSystem {
         collector: NodeId,
         at: Cycle,
     ) -> Cycle {
-        let mut done = at;
-        let ctrl = self.msg_ctrl();
-        let (al, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
-        for &k in targets {
-            self.stats.invalidations += 1;
-            let t1 = self.net.send(from, k, ctrl, at);
-            self.nodes[k].store.caches.invalidate(line);
-            self.nodes[k].store.am.remove(line);
-            let start = self.nodes[k].ctrl.occupy(t1, ao);
-            let t2 = self.net.send(k, collector, ctrl, start + al);
-            done = done.max(t2);
-        }
-        done
+        let nodes = &mut self.nodes;
+        self.fab
+            .invalidate_fanout(&mut self.ctrls, targets, from, collector, at, |k| {
+                nodes[k].caches.invalidate(line);
+                nodes[k].am.remove(line);
+            })
     }
 
     /// Inserts `line` into `node`'s attraction memory, handling the victim
@@ -240,12 +299,13 @@ impl ComaSystem {
     /// target). Timing effects of the victim path are booked at `now` but
     /// do not extend the requesting transaction.
     fn am_fill(&mut self, node: NodeId, line: Line, state: AmState, provider: NodeId, now: Cycle) {
-        let r = self.nodes[node].store.am.insert(line, state, victim_class);
+        let r = self.nodes[node].am.insert(line, state, victim_class);
         let Some(victim) = r.victim else { return };
         let vline = victim.line;
+        self.fab.am_swap(node, line, vline, now);
         // Inclusion: purge the victim from the private caches; a dirty
         // cached copy upgrades the victim state.
-        let cached = self.nodes[node].store.caches.invalidate(vline);
+        let cached = self.nodes[node].caches.invalidate(vline);
         let vstate = match (victim.state, cached) {
             (_, Some(CState::Dirty)) => AmState::Dirty,
             (s, _) => s,
@@ -261,18 +321,14 @@ impl ComaSystem {
     /// Silent replacement of a shared non-master copy: drop locally, send
     /// an asynchronous hint so the directory stops tracking us.
     fn drop_shared(&mut self, node: NodeId, line: Line, now: Cycle) {
-        let home = self
-            .pages
-            .home(line >> (self.cfg.page_shift - self.cfg.line_shift))
-            .expect("resident line must be mapped");
+        let home = self.fab.mapped_home(line);
         if let Some(e) = self.dir.get_mut(&line) {
             e.sharers.remove(node);
         }
         if home != node {
-            let ctrl = self.msg_ctrl();
-            let t = self.net.send(node, home, ctrl, now);
-            let (_, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
-            self.nodes[home].ctrl.occupy(t, ao);
+            let ctrl = self.fab.msg_ctrl();
+            let t = self.fab.net.send(node, home, ctrl, now);
+            self.fab.hint_occupy(&mut self.ctrls[home], home, t);
         }
     }
 
@@ -280,10 +336,7 @@ impl ComaSystem {
     /// provider, then the line's home, then nodes by distance. If nobody
     /// absorbs it without evicting another master, spill to disk.
     fn inject(&mut self, node: NodeId, line: Line, state: AmState, provider: NodeId, now: Cycle) {
-        let home = self
-            .pages
-            .home(line >> (self.cfg.page_shift - self.cfg.line_shift))
-            .expect("resident line must be mapped");
+        let home = self.fab.mapped_home(line);
 
         let mut candidates: Vec<NodeId> = Vec::with_capacity(self.cfg.nodes + 1);
         for c in [provider, home] {
@@ -294,13 +347,13 @@ impl ComaSystem {
         let mut others: Vec<NodeId> = (0..self.cfg.nodes)
             .filter(|&c| c != node && !candidates.contains(&c))
             .collect();
-        others.sort_by_key(|&c| (self.net.hops(node, c), c));
+        others.sort_by_key(|&c| (self.fab.net.hops(node, c), c));
         candidates.extend(others);
 
-        let data = self.msg_data();
+        let data = self.fab.msg_data();
         if candidates.is_empty() {
             // Single-node machine: nowhere to inject, spill to disk.
-            self.stats.disk_spills += 1;
+            self.fab.stats.disk_spills += 1;
             let e = self.dir.entry(line).or_default();
             e.sharers.remove(node);
             e.owner = None;
@@ -316,134 +369,159 @@ impl ComaSystem {
         // Prefer a memory with a genuinely free way; displacing another
         // node's attracted shared copy is second choice (it re-fetches
         // later — the memory pollution the paper attributes to COMA).
-        let free_way = candidates.iter().position(|&c| {
-            self.nodes[c]
-                .store
-                .am
-                .peek_victim(line, victim_class)
-                .is_none()
-        });
+        let free_way = candidates
+            .iter()
+            .position(|&c| self.nodes[c].am.peek_victim(line, victim_class).is_none());
         let shared_victim = || {
             candidates.iter().position(|&c| {
                 matches!(
-                    self.nodes[c].store.am.peek_victim(line, victim_class),
+                    self.nodes[c].am.peek_victim(line, victim_class),
                     Some((_, AmState::Shared))
                 )
             })
         };
         let chosen = free_way.or_else(shared_victim).unwrap_or(0);
-        {
-            let c = candidates[chosen];
-            let bounces = chosen.min(self.cfg.injection_max_tries);
-            let mut t_chain = now;
-            let mut prev = node;
-            for &hop in candidates.iter().take(bounces) {
-                t_chain = self.net.send(prev, hop, data, t_chain);
-                prev = hop;
-            }
-            self.stats.injections += 1;
-            let t = self.net.send(prev, c, data, t_chain);
-            let (wl, wo) = self.cfg.handler.cost(HandlerKind::WriteBack, 0);
-            let g = self.nodes[c].ctrl.dispatch(t, wl, wo);
-            let r = self.nodes[c].store.am.insert(line, state, victim_class);
-            if let Some(sv) = r.victim {
-                self.nodes[c].store.caches.invalidate(sv.line);
-                match sv.state {
-                    AmState::Shared => self.drop_shared(c, sv.line, g.reply_at),
-                    // Forced displacement: the secondary master victim
-                    // spills to disk (bounded: only when no memory in the
-                    // machine had room).
-                    _ => {
-                        self.stats.disk_spills += 1;
-                        let vline = sv.line;
-                        let ve = self.dir.entry(vline).or_default();
-                        ve.sharers.clear();
-                        ve.owner = None;
-                        ve.master = None;
-                        ve.on_disk = true;
-                    }
-                }
-            }
-            self.mem_access(c, line, g.start);
-            let e = self.dir.entry(line).or_default();
-            match state {
-                AmState::Dirty => {
-                    e.owner = Some(c);
-                    e.master = Some(c);
-                    e.sharers = NodeSet::singleton(c);
-                }
+        let c = candidates[chosen];
+        let bounces = chosen.min(self.cfg.injection_max_tries);
+        let mut t_chain = now;
+        let mut prev = node;
+        for &hop in candidates.iter().take(bounces) {
+            t_chain = self.fab.net.send(prev, hop, data, t_chain);
+            prev = hop;
+        }
+        self.fab.stats.injections += 1;
+        let t = self.fab.net.send(prev, c, data, t_chain);
+        let g = self.dispatch(c, HandlerKind::WriteBack, 0, t);
+        self.fab.am_inject(c, line, g.start);
+        let r = self.nodes[c].am.insert(line, state, victim_class);
+        if let Some(sv) = r.victim {
+            self.nodes[c].caches.invalidate(sv.line);
+            match sv.state {
+                AmState::Shared => self.drop_shared(c, sv.line, g.reply_at),
+                // Forced displacement: the secondary master victim spills
+                // to disk (bounded: only when no memory in the machine had
+                // room).
                 _ => {
-                    e.sharers.remove(node);
-                    e.sharers.insert(c);
-                    e.master = Some(c);
+                    self.fab.stats.disk_spills += 1;
+                    let ve = self.dir.entry(sv.line).or_default();
+                    ve.sharers.clear();
+                    ve.owner = None;
+                    ve.master = None;
+                    ve.on_disk = true;
                 }
+            }
+        }
+        self.mem_access(c, line, g.start);
+        let e = self.dir.entry(line).or_default();
+        match state {
+            AmState::Dirty => {
+                e.owner = Some(c);
+                e.master = Some(c);
+                e.sharers = NodeSet::singleton(c);
+            }
+            _ => {
+                e.sharers.remove(node);
+                e.sharers.insert(c);
+                e.master = Some(c);
             }
         }
     }
 
-    /// Merges an L2 victim back into the local AM (inclusion guarantees
-    /// residency).
-    fn merge_l2_victim(&mut self, node: NodeId, victim: Option<(Line, CState)>) {
-        let Some((line, state)) = victim else { return };
-        if state == CState::Dirty {
-            if let Some(s) = self.nodes[node].store.am.peek_mut(line) {
-                *s = AmState::Dirty;
-            }
-            let e = self.dir.entry(line).or_default();
+    /// Recalls stale attracted copies of an on-disk line as it
+    /// re-materializes — no sharer bits survive to fan out over.
+    fn purge_stale(&mut self, node: NodeId, line: Line) {
+        for p in (0..self.cfg.nodes).filter(|&p| p != node) {
+            self.nodes[p].caches.invalidate(line);
+            self.nodes[p].am.remove(line);
+        }
+    }
+
+    /// An attracted home copy short-circuits the master fetch.
+    fn pick_supplier(&self, node: NodeId, home: NodeId, m_node: NodeId, line: Line) -> NodeId {
+        if home != node && self.nodes[home].am.contains(line) {
+            home
+        } else {
+            m_node
+        }
+    }
+
+    /// Fills the private caches, reinstating ownership here if a dirty L2
+    /// victim merged back into the local AM.
+    fn fill_caches(&mut self, node: NodeId, line: Line, state: CState) {
+        let victim = self.nodes[node].fill_caches(line, state);
+        if let Some((vline, CState::Dirty)) = victim {
+            let e = self.dir.entry(vline).or_default();
             e.owner = Some(node);
             e.master = Some(node);
         }
     }
 
-    fn fill_caches(&mut self, node: NodeId, line: Line, state: CState) {
-        let victim = self.nodes[node].store.caches.fill(line, state);
-        self.merge_l2_victim(node, victim);
+    /// The invalidation round of an ownership upgrade: directory mutation,
+    /// `ReadExclusive` dispatch at the home, sharer fan-out, and (for a
+    /// remote home) the ownership grant back to the writer.
+    fn upgrade_round(&mut self, tx: &mut Txn, node: NodeId, line: Line) -> Level {
+        let home = self.home_of(line, node);
+        if std::mem::take(&mut self.dir.entry(line).or_default().on_disk) {
+            self.purge_stale(node, line);
+        }
+        let e = self.dir.entry(line).or_default();
+        let targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
+        e.sharers = NodeSet::singleton(node);
+        e.owner = Some(node);
+        e.master = Some(node);
+        let n_inv = targets.len() as u32;
+        let ctrl = self.fab.msg_ctrl();
+        if home == node {
+            let g = self.dispatch(node, HandlerKind::ReadExclusive, n_inv, tx.at());
+            tx.handler(g);
+            let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
+            tx.to(NETWORK, acks);
+            Level::LocalMem
+        } else {
+            self.fab.stats.remote_writes += 1;
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            let g = self.dispatch(home, HandlerKind::ReadExclusive, n_inv, t1);
+            tx.handler(g);
+            let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+            tx.send(&mut self.fab, home, node, ctrl);
+            tx.to(NETWORK, acks);
+            Level::Hop2
+        }
     }
-}
 
-impl MemSystem for ComaSystem {
-    fn name(&self) -> &'static str {
-        "COMA"
-    }
-
-    fn read(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+    fn read_walk(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
         let line = line_of(addr, self.cfg.line_shift);
-        if let Some(level) = self.nodes[node].store.caches.read_probe(line) {
-            let lat = match level {
-                Level::L1 => self.cfg.lat.l1,
-                _ => self.cfg.lat.l2,
-            };
-            self.stats.record_read(level, lat);
-            return Access {
-                done_at: now + lat,
-                level,
-            };
+        if let Some(level) = self.nodes[node].caches.read_probe(line) {
+            return cache_hit(&mut self.fab, level, now, true);
         }
 
-        let t = now + self.cfg.lat.l2 + self.cfg.lat.am_tag_check;
+        let mut tx = Txn::start(node, line, now);
+        tx.probe(self.fab.lat.l2 + self.fab.lat.am_tag_check);
         // Attraction-memory hit: the whole point of the organization.
-        if let Some(res) = self.nodes[node].store.am.touch(line) {
-            let bytes = self.line_bytes();
-            let m = self.nodes[node].store.mem_access(res, t, bytes);
-            let done = m + self.cfg.lat.fill;
+        if self.nodes[node].am.contains(line) {
+            self.fab.am_hit(node, line, tx.at());
+            let m = self.mem_access(node, line, tx.at());
+            tx.dram(m);
+            tx.fill(&self.fab);
             self.fill_caches(node, line, CState::Shared);
-            self.stats.record_read(Level::LocalMem, done - now);
-            return Access {
-                done_at: done,
-                level: Level::LocalMem,
-            };
+            return tx.finish(&mut self.fab, Level::LocalMem, TxnKind::Read, false);
         }
+        self.fab.am_miss(node, line, tx.at());
 
         let home = self.home_of(line, node);
         let e = self.dir.get(&line).copied().unwrap_or_default();
-        let ctrl = self.msg_ctrl();
-        let data = self.msg_data();
+        let ctrl = self.fab.msg_ctrl();
+        let data = self.fab.msg_data();
 
-        let (data_at, provider, level, new_state) = if e.on_disk {
-            self.stats.disk_faults += 1;
-            let t1 = self.net.send(node, home, ctrl, t);
+        let (provider, level, new_state) = if e.on_disk {
+            self.fab.stats.disk_faults += 1;
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            self.fab.disk_fault(home, line, t1);
             let g = self.dispatch(home, HandlerKind::Read, 0, t1);
-            let t2 = self.net.send(home, node, data, g + self.cfg.lat.disk);
+            tx.handler(g);
+            tx.disk(&self.fab);
+            tx.send(&mut self.fab, home, node, data);
+            self.purge_stale(node, line);
             let de = self.dir.entry(line).or_default();
             de.on_disk = false;
             de.master = Some(node);
@@ -453,28 +531,15 @@ impl MemSystem for ComaSystem {
             } else {
                 Level::Hop2
             };
-            (t2, home, lvl, AmState::SharedMaster)
+            (home, lvl, AmState::SharedMaster)
         } else if let Some(k) = e.owner {
-            debug_assert_ne!(k, node, "owner cannot miss in its own memory");
-            let t1 = self.net.send(node, home, ctrl, t);
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
             let g = self.dispatch(home, HandlerKind::Read, 0, t1);
-            let (arrive, lvl) = if k == home {
-                let m = self.mem_access(home, line, g);
-                (self.net.send(home, node, data, m), Level::Hop2)
-            } else {
-                let t2 = self.net.send(home, k, ctrl, g);
-                let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
-                let m = self.mem_access(k, line, g2);
-                let lvl = if home == node {
-                    Level::Hop2
-                } else {
-                    Level::Hop3
-                };
-                (self.net.send(k, node, data, m), lvl)
-            };
-            // Owner keeps the master copy, now shared.
-            self.nodes[k].store.caches.downgrade(line);
-            if let Some(s) = self.nodes[k].store.am.peek_mut(line) {
+            tx.handler(g);
+            let lvl = self.supply_from(&mut tx, node, home, k, line, false);
+            // The owner keeps the master copy, now shared.
+            self.nodes[k].caches.downgrade(line);
+            if let Some(s) = self.nodes[k].am.peek_mut(line) {
                 *s = AmState::SharedMaster;
             }
             let de = self.dir.entry(line).or_default();
@@ -482,283 +547,184 @@ impl MemSystem for ComaSystem {
             de.master = Some(k);
             de.sharers = NodeSet::singleton(k);
             de.sharers.insert(node);
-            (arrive, k, lvl, AmState::Shared)
+            (k, lvl, AmState::Shared)
         } else if !e.sharers.is_empty() {
             let m_node = e.master.expect("shared lines must have a master");
-            let t1 = self.net.send(node, home, ctrl, t);
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
             let g = self.dispatch(home, HandlerKind::Read, 0, t1);
-            let home_has_copy = home != node && self.nodes[home].store.am.contains(line);
-            let (arrive, supplier, lvl) = if home_has_copy {
-                let m = self.mem_access(home, line, g);
-                (self.net.send(home, node, data, m), home, Level::Hop2)
-            } else {
-                debug_assert_ne!(m_node, node);
-                let (t2, lvl) = if m_node == home {
-                    (g, Level::Hop2)
-                } else {
-                    self.stats.master_fetches += 1;
-                    let fwd = self.net.send(home, m_node, ctrl, g);
-                    let g2 = self.dispatch(m_node, HandlerKind::Read, 0, fwd);
-                    let lvl = if home == node {
-                        Level::Hop2
-                    } else {
-                        Level::Hop3
-                    };
-                    (g2, lvl)
-                };
-                let m = self.mem_access(m_node, line, t2);
-                (self.net.send(m_node, node, data, m), m_node, lvl)
-            };
+            tx.handler(g);
+            let supplier = self.pick_supplier(node, home, m_node, line);
+            let lvl = self.supply_from(&mut tx, node, home, supplier, line, true);
             self.dir.entry(line).or_default().sharers.insert(node);
-            (arrive, supplier, lvl, AmState::Shared)
+            (supplier, lvl, AmState::Shared)
         } else {
             // First touch: the line materializes (cold/zero data).
             let de = self.dir.entry(line).or_default();
             de.master = Some(node);
             de.sharers = NodeSet::singleton(node);
-            if home == node {
-                let g = self.dispatch(node, HandlerKind::Read, 0, t);
-                (g, node, Level::LocalMem, AmState::SharedMaster)
-            } else {
-                let t1 = self.net.send(node, home, ctrl, t);
-                let g = self.dispatch(home, HandlerKind::Read, 0, t1);
-                let t2 = self.net.send(home, node, data, g);
-                (t2, home, Level::Hop2, AmState::SharedMaster)
-            }
+            let lvl = self.cold_round(&mut tx, node, home, HandlerKind::Read);
+            (home, lvl, AmState::SharedMaster)
         };
 
-        let done = data_at + self.cfg.lat.fill;
-        self.am_fill(node, line, new_state, provider, done);
+        tx.fill(&self.fab);
+        self.am_fill(node, line, new_state, provider, tx.at());
         self.fill_caches(node, line, CState::Shared);
-        self.stats.record_read(level, done - now);
-        Access {
-            done_at: done,
-            level,
-        }
+        tx.finish(&mut self.fab, level, TxnKind::Read, true)
     }
 
-    fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+    fn write_walk(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
         let line = line_of(addr, self.cfg.line_shift);
-        match self.nodes[node].store.caches.write_probe(line) {
-            WriteProbe::Done(level) => {
-                let lat = match level {
-                    Level::L1 => self.cfg.lat.l1,
-                    _ => self.cfg.lat.l2,
-                };
-                return Access {
-                    done_at: now + lat,
-                    level,
-                };
-            }
+        match self.nodes[node].caches.write_probe(line) {
+            WriteProbe::Done(level) => return cache_hit(&mut self.fab, level, now, false),
             WriteProbe::NeedUpgrade => {
-                let t = now + self.cfg.lat.l2;
+                let mut tx = Txn::start(node, line, now);
+                tx.probe(self.fab.lat.l2);
                 let am_state = self.nodes[node]
-                    .store
                     .am
                     .peek(line)
                     .copied()
                     .expect("cached line must be in the AM (inclusion)");
                 if am_state == AmState::Dirty {
                     // Already exclusive at the memory level.
-                    self.nodes[node].store.caches.mark_dirty(line);
-                    return Access {
-                        done_at: t + self.cfg.lat.am_tag_check,
-                        level: Level::L2,
-                    };
+                    tx.probe(self.fab.lat.am_tag_check);
+                    self.nodes[node].caches.mark_dirty(line);
+                    return tx.finish(&mut self.fab, Level::L2, TxnKind::Write, false);
                 }
-                let home = self.home_of(line, node);
-                let e = self.dir.entry(line).or_default();
-                let targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
-                e.sharers = NodeSet::singleton(node);
-                e.owner = Some(node);
-                e.master = Some(node);
-                let (xl, xo) = self
-                    .cfg
-                    .handler
-                    .cost(HandlerKind::ReadExclusive, targets.len() as u32);
-                let ctrl = self.msg_ctrl();
-                let (done, level) = if home == node {
-                    let g = self.nodes[node].ctrl.dispatch(t, xl, xo);
-                    let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
-                    (acks.max(g.reply_at), Level::LocalMem)
-                } else {
-                    self.stats.remote_writes += 1;
-                    let t1 = self.net.send(node, home, ctrl, t);
-                    let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
-                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
-                    let grant = self.net.send(home, node, ctrl, g.reply_at);
-                    (acks.max(grant), Level::Hop2)
-                };
-                if let Some(s) = self.nodes[node].store.am.peek_mut(line) {
+                let level = self.upgrade_round(&mut tx, node, line);
+                if let Some(s) = self.nodes[node].am.peek_mut(line) {
                     *s = AmState::Dirty;
                 }
-                self.nodes[node].store.caches.mark_dirty(line);
-                return Access {
-                    done_at: done + self.cfg.lat.fill,
-                    level,
-                };
+                self.nodes[node].caches.mark_dirty(line);
+                tx.fill(&self.fab);
+                return tx.finish(&mut self.fab, level, TxnKind::Write, true);
             }
             WriteProbe::Miss => {}
         }
 
-        let t = now + self.cfg.lat.l2 + self.cfg.lat.am_tag_check;
-        // AM hit on a write miss in the caches.
-        if let Some(&st) = self.nodes[node].store.am.peek(line) {
-            let res = self.nodes[node].store.am.touch(line).expect("present");
-            let bytes = self.line_bytes();
-            let m = self.nodes[node].store.mem_access(res, t, bytes);
+        let mut tx = Txn::start(node, line, now);
+        tx.probe(self.fab.lat.l2 + self.fab.lat.am_tag_check);
+        // AM hit under a full cache miss.
+        if let Some(&st) = self.nodes[node].am.peek(line) {
+            let m = self.mem_access(node, line, tx.at());
             if st == AmState::Dirty {
+                tx.dram(m);
+                tx.fill(&self.fab);
                 self.fill_caches(node, line, CState::Dirty);
-                return Access {
-                    done_at: m + self.cfg.lat.fill,
-                    level: Level::LocalMem,
-                };
+                return tx.finish(&mut self.fab, Level::LocalMem, TxnKind::Write, false);
             }
-            // Shared in our memory: upgrade through the home.
-            let home = self.home_of(line, node);
-            let e = self.dir.entry(line).or_default();
-            let targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
-            e.sharers = NodeSet::singleton(node);
-            e.owner = Some(node);
-            e.master = Some(node);
-            let (xl, xo) = self
-                .cfg
-                .handler
-                .cost(HandlerKind::ReadExclusive, targets.len() as u32);
-            let ctrl = self.msg_ctrl();
-            let (done, level) = if home == node {
-                let g = self.nodes[node].ctrl.dispatch(t, xl, xo);
-                let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
-                (acks.max(m), Level::LocalMem)
-            } else {
-                self.stats.remote_writes += 1;
-                let t1 = self.net.send(node, home, ctrl, t);
-                let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
-                let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
-                let grant = self.net.send(home, node, ctrl, g.reply_at);
-                (acks.max(grant).max(m), Level::Hop2)
-            };
-            if let Some(s) = self.nodes[node].store.am.peek_mut(line) {
+            // Shared in our memory: upgrade through the home; the local
+            // data access overlaps with the invalidation round.
+            let level = self.upgrade_round(&mut tx, node, line);
+            tx.dram(m);
+            if let Some(s) = self.nodes[node].am.peek_mut(line) {
                 *s = AmState::Dirty;
             }
+            tx.fill(&self.fab);
             self.fill_caches(node, line, CState::Dirty);
-            return Access {
-                done_at: done + self.cfg.lat.fill,
-                level,
-            };
+            return tx.finish(&mut self.fab, level, TxnKind::Write, true);
         }
 
         // Full read-exclusive: fetch data and invalidate everyone.
         let home = self.home_of(line, node);
         let e = self.dir.get(&line).copied().unwrap_or_default();
-        let ctrl = self.msg_ctrl();
-        let data = self.msg_data();
+        let ctrl = self.fab.msg_ctrl();
+        let data = self.fab.msg_data();
         let mut targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
-        let (xl, xo) = self
-            .cfg
-            .handler
-            .cost(HandlerKind::ReadExclusive, targets.len() as u32);
+        // Handler cost covers the pre-retain fan-out size.
+        let n_inv = targets.len() as u32;
 
-        let (data_at, provider, level) = if e.on_disk {
-            self.stats.disk_faults += 1;
-            let t1 = self.net.send(node, home, ctrl, t);
+        let (provider, level) = if e.on_disk {
+            self.fab.stats.disk_faults += 1;
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            self.fab.disk_fault(home, line, t1);
             let g = self.dispatch(home, HandlerKind::ReadExclusive, 0, t1);
-            let t2 = self.net.send(home, node, data, g + self.cfg.lat.disk);
+            tx.handler(g);
+            tx.disk(&self.fab);
+            tx.send(&mut self.fab, home, node, data);
+            self.purge_stale(node, line);
             self.dir.entry(line).or_default().on_disk = false;
             let lvl = if home == node {
                 Level::LocalMem
             } else {
                 Level::Hop2
             };
-            (t2, home, lvl)
+            (home, lvl)
         } else if let Some(k) = e.owner {
-            debug_assert_ne!(k, node);
             targets.retain(|&x| x != k); // the owner supplies and self-invalidates
-            let t1 = self.net.send(node, home, ctrl, t);
-            let g = self.nodes[home].ctrl.dispatch(t1, xl, xo).reply_at;
-            let (arrive, lvl) = if k == home {
-                let m = self.mem_access(home, line, g);
-                (self.net.send(home, node, data, m), Level::Hop2)
-            } else {
-                let t2 = self.net.send(home, k, ctrl, g);
-                let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
-                let m = self.mem_access(k, line, g2);
-                let lvl = if home == node {
-                    Level::Hop2
-                } else {
-                    Level::Hop3
-                };
-                (self.net.send(k, node, data, m), lvl)
-            };
-            self.nodes[k].store.caches.invalidate(line);
-            self.nodes[k].store.am.remove(line);
-            self.stats.invalidations += 1;
-            (arrive, k, lvl)
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            let g = self.dispatch(home, HandlerKind::ReadExclusive, n_inv, t1);
+            tx.handler(g);
+            let lvl = self.supply_from(&mut tx, node, home, k, line, false);
+            self.nodes[k].caches.invalidate(line);
+            self.nodes[k].am.remove(line);
+            self.fab.stats.invalidations += 1;
+            (k, lvl)
         } else if !e.sharers.is_empty() {
             let m_node = e.master.expect("shared lines must have a master");
-            let t1 = self.net.send(node, home, ctrl, t);
-            let g = self.nodes[home].ctrl.dispatch(t1, xl, xo).reply_at;
-            let home_has_copy = home != node && self.nodes[home].store.am.contains(line);
-            let (arrive, supplier, lvl) = if home_has_copy {
-                let m = self.mem_access(home, line, g);
-                (self.net.send(home, node, data, m), home, Level::Hop2)
-            } else if m_node == node {
-                unreachable!("master cannot miss in its own memory");
-            } else {
-                let (t2, lvl) = if m_node == home {
-                    (g, Level::Hop2)
-                } else {
-                    let fwd = self.net.send(home, m_node, ctrl, g);
-                    let g2 = self.dispatch(m_node, HandlerKind::Read, 0, fwd);
-                    let lvl = if home == node {
-                        Level::Hop2
-                    } else {
-                        Level::Hop3
-                    };
-                    (g2, lvl)
-                };
-                let m = self.mem_access(m_node, line, t2);
-                (self.net.send(m_node, node, data, m), m_node, lvl)
-            };
-            let acks = self.invalidate_all(&targets, line, home, node, g);
-            (arrive.max(acks), supplier, lvl)
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            let g = self.dispatch(home, HandlerKind::ReadExclusive, n_inv, t1);
+            let gr = g.reply_at;
+            tx.handler(g);
+            let supplier = self.pick_supplier(node, home, m_node, line);
+            let lvl = self.supply_from(&mut tx, node, home, supplier, line, false);
+            let acks = self.invalidate_all(&targets, line, home, node, gr);
+            tx.to(NETWORK, acks);
+            (supplier, lvl)
         } else {
             // Cold write.
-            if home == node {
-                let g = self.dispatch(node, HandlerKind::ReadExclusive, 0, t);
-                (g, node, Level::LocalMem)
-            } else {
-                self.stats.remote_writes += 1;
-                let t1 = self.net.send(node, home, ctrl, t);
-                let g = self.dispatch(home, HandlerKind::ReadExclusive, 0, t1);
-                let t2 = self.net.send(home, node, data, g);
-                (t2, home, Level::Hop2)
-            }
+            let lvl = self.cold_round(&mut tx, node, home, HandlerKind::ReadExclusive);
+            (home, lvl)
         };
 
         let de = self.dir.entry(line).or_default();
         de.owner = Some(node);
         de.master = Some(node);
         de.sharers = NodeSet::singleton(node);
-        let done = data_at + self.cfg.lat.fill;
-        self.am_fill(node, line, AmState::Dirty, provider, done);
+        tx.fill(&self.fab);
+        self.am_fill(node, line, AmState::Dirty, provider, tx.at());
         self.fill_caches(node, line, CState::Dirty);
-        Access {
-            done_at: done,
-            level,
-        }
+        tx.finish(&mut self.fab, level, TxnKind::Write, true)
+    }
+}
+
+impl MemSystem for ComaSystem {
+    fn name(&self) -> &'static str {
+        "COMA"
     }
 
-    fn line_shift(&self) -> u32 {
-        self.cfg.line_shift
+    fn read(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let a = self.read_walk(node, addr, now);
+        #[cfg(feature = "coherence-oracle")]
+        crate::check::coma_line(self, line_of(addr, self.cfg.line_shift));
+        a
+    }
+
+    fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let a = self.write_walk(node, addr, now);
+        #[cfg(feature = "coherence-oracle")]
+        crate::check::coma_line(self, line_of(addr, self.cfg.line_shift));
+        a
+    }
+
+    fn fabric(&self) -> &Fabric {
+        &self.fab
+    }
+
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fab
+    }
+
+    fn controllers_busy(&self) -> (Cycle, usize) {
+        let busy: Cycle = self.ctrls.iter().map(|c| c.busy_cycles()).sum();
+        (busy, self.ctrls.len())
+    }
+
+    fn check_coherence(&self) {
+        crate::check::check_coma(self);
     }
 
     fn compute_nodes(&self) -> Vec<NodeId> {
         (0..self.cfg.nodes).collect()
-    }
-
-    fn stats(&self) -> &ProtoStats {
-        &self.stats
     }
 
     fn census(&self) -> Census {
@@ -778,42 +744,6 @@ impl MemSystem for ComaSystem {
         c
     }
 
-    fn net_stats(&self) -> NetStats {
-        self.net.stats()
-    }
-
-    fn net_link_busy(&self) -> (Cycle, Cycle) {
-        (self.net.total_link_busy(), self.net.max_link_busy())
-    }
-
-    fn controller_utilization(&self, elapsed: Cycle) -> f64 {
-        if elapsed == 0 {
-            return 0.0;
-        }
-        let busy: Cycle = self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum();
-        busy as f64 / (elapsed * self.nodes.len() as u64) as f64
-    }
-
-    fn attach_tracer(&mut self, tracer: pimdsm_obs::Tracer) {
-        // COMA's hardware controllers emit no per-handler spans; link
-        // transfers are still recorded by the network.
-        self.net.attach_tracer(tracer);
-    }
-
-    fn epoch_probe(&self) -> pimdsm_obs::EpochProbe {
-        pimdsm_obs::EpochProbe {
-            ctrl_busy: self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum(),
-            ctrl_count: self.nodes.len(),
-            link_busy: self.net.total_link_busy(),
-            link_count: self.net.num_links(),
-            shared_list_depth: 0,
-            free_slots: 0,
-            reads_by_level: self.stats.reads_by_level,
-            remote_writes: self.stats.remote_writes,
-            net_messages: self.net.stats().messages,
-        }
-    }
-
     fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind) {
         let line = line_of(addr, self.cfg.line_shift);
         self.home_of(line, owner);
@@ -822,24 +752,24 @@ impl MemSystem for ComaSystem {
         }
         // COMA has no backing store: the pre-existing copy must live in
         // some attraction memory. Cold private data sits dirty at its
-        // owner; shared-init data ended up spread across the machine by
+        // owner; shared-init data ends up spread across the machine by
         // init-time capacity displacement (balance by free space, as the
         // long-run injection equilibrium would).
         let (state, candidates): (AmState, Vec<NodeId>) = match kind {
             PreloadKind::ColdPrivate => {
                 let mut c: Vec<NodeId> = (0..self.cfg.nodes).collect();
-                c.sort_by_key(|&n| (self.net.hops(owner, n), n));
+                c.sort_by_key(|&n| (self.fab.net.hops(owner, n), n));
                 (AmState::Dirty, c)
             }
             PreloadKind::SharedInit => {
                 let mut c: Vec<NodeId> = (0..self.cfg.nodes).collect();
-                c.sort_by_key(|&n| (self.nodes[n].store.am.len(), n));
+                c.sort_by_key(|&n| (self.nodes[n].am.len(), n));
                 (AmState::SharedMaster, c)
             }
         };
         for c in candidates {
-            if self.nodes[c].store.am.has_room_for(line) {
-                self.nodes[c].store.am.insert(line, state, victim_class);
+            if self.nodes[c].am.has_room_for(line) {
+                self.nodes[c].am.insert(line, state, victim_class);
                 let e = self.dir.entry(line).or_default();
                 e.master = Some(c);
                 e.sharers = NodeSet::singleton(c);
@@ -851,169 +781,6 @@ impl MemSystem for ComaSystem {
         }
         // Pathological set pressure everywhere: the copy sits on disk.
         self.dir.entry(line).or_default().on_disk = true;
-        self.stats.disk_spills += 1;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sys(am_lines: u64) -> ComaSystem {
-        ComaSystem::new(ComaCfg::paper(4, 8, 32, am_lines))
-    }
-
-    #[test]
-    fn cold_read_materializes_master_locally() {
-        let mut s = sys(1024);
-        let a = s.read(0, 0x1000, 0);
-        assert_eq!(a.level, Level::LocalMem);
-        assert_eq!(
-            s.nodes[0].store.am.peek(0x1000 >> 6),
-            Some(&AmState::SharedMaster)
-        );
-    }
-
-    #[test]
-    fn remote_read_attracts_copy() {
-        let mut s = sys(1024);
-        s.read(0, 0x1000, 0);
-        let a = s.read(1, 0x1000, 1000);
-        assert_eq!(a.level, Level::Hop2);
-        // Second access by node 1 is now a local memory hit.
-        s.nodes[1].store.caches.invalidate(0x1000 >> 6);
-        let b = s.read(1, 0x1000, 100_000);
-        assert_eq!(b.level, Level::LocalMem);
-    }
-
-    #[test]
-    fn read_of_dirty_line_leaves_shared_master_at_owner() {
-        let mut s = sys(1024);
-        s.write(0, 0x1000, 0);
-        let a = s.read(1, 0x1000, 1000);
-        assert_ne!(a.level, Level::LocalMem);
-        assert_eq!(
-            s.nodes[0].store.am.peek(0x1000 >> 6),
-            Some(&AmState::SharedMaster)
-        );
-        assert_eq!(
-            s.nodes[1].store.am.peek(0x1000 >> 6),
-            Some(&AmState::Shared)
-        );
-        let e = s.dir.get(&(0x1000 >> 6)).unwrap();
-        assert_eq!(e.owner, None);
-        assert_eq!(e.master, Some(0));
-    }
-
-    #[test]
-    fn write_invalidates_other_copies() {
-        let mut s = sys(1024);
-        s.read(0, 0x1000, 0);
-        s.read(1, 0x1000, 1000);
-        s.write(2, 0x1000, 10_000);
-        assert!(s.nodes[0].store.am.peek(0x1000 >> 6).is_none());
-        assert!(s.nodes[1].store.am.peek(0x1000 >> 6).is_none());
-        assert_eq!(s.nodes[2].store.am.peek(0x1000 >> 6), Some(&AmState::Dirty));
-        let e = s.dir.get(&(0x1000 >> 6)).unwrap();
-        assert_eq!(e.owner, Some(2));
-    }
-
-    #[test]
-    fn upgrade_of_am_dirty_is_local() {
-        let mut s = sys(1024);
-        s.write(0, 0x1000, 0);
-        s.read(0, 0x1000, 100); // caches now shared on a dirty AM line
-        let line = 0x1000 >> 6;
-        s.nodes[0].store.caches.invalidate(line);
-        s.read(0, 0x1000, 200);
-        let a = s.write(0, 0x1000, 300);
-        assert!(
-            a.done_at - 300 < 60,
-            "local upgrade was {}",
-            a.done_at - 300
-        );
-    }
-
-    #[test]
-    fn replacement_prefers_shared_over_master() {
-        // AM: 1 set × 2 ways per node.
-        let mut cfg = ComaCfg::paper(2, 8, 32, 4);
-        cfg.am = CacheCfg::new(2 * 64, 2, 6);
-        let mut s = ComaSystem::new(cfg);
-        // Node 0: master of line A (cold write), shared copy of line B.
-        s.write(0, 0, 0); // A: dirty master at 0
-        s.read(1, 64, 0); // B homed/mastered at node 1
-        s.read(0, 64, 1000); // node 0 gets shared copy of B
-                             // New line C at node 0 must evict the shared B, not dirty A.
-        s.write(0, 128, 10_000);
-        let am = &s.nodes[0].store.am;
-        assert!(am.contains(0), "dirty master kept");
-        assert!(am.contains(2), "new line inserted");
-        assert!(!am.contains(1), "shared copy evicted");
-        assert_eq!(s.injections(), 0);
-    }
-
-    #[test]
-    fn master_replacement_injects() {
-        // AM: 1 set × 1 way per node → any second line evicts a master.
-        let mut cfg = ComaCfg::paper(3, 8, 32, 4);
-        cfg.am = CacheCfg::new(64, 1, 6);
-        cfg.l1 = CacheCfg::new(64, 1, 6);
-        cfg.l2 = CacheCfg::new(64, 1, 6);
-        let mut s = ComaSystem::new(cfg);
-        s.write(0, 0, 0); // line 0 dirty master at node 0
-        s.write(0, 64, 1000); // line 1 evicts it → injection
-        assert_eq!(s.injections(), 1);
-        // The dirty line must still live somewhere.
-        let e = s.dir.get(&0).unwrap();
-        let holder = e.owner.expect("still dirty somewhere");
-        assert!(s.nodes[holder].store.am.contains(0));
-        assert_ne!(holder, 0);
-    }
-
-    #[test]
-    fn forced_injection_spills_displaced_master_to_disk() {
-        // Every node: 1-line AM, all full of masters. Evicting a master
-        // from node 0 forces node 1 to take it in, spilling node 1's own
-        // master (line 1) to disk.
-        let mut cfg = ComaCfg::paper(2, 8, 32, 4);
-        cfg.am = CacheCfg::new(64, 1, 6);
-        cfg.l1 = CacheCfg::new(64, 1, 6);
-        cfg.l2 = CacheCfg::new(64, 1, 6);
-        cfg.injection_max_tries = 1;
-        let mut s = ComaSystem::new(cfg);
-        s.write(0, 0, 0);
-        s.write(1, 64, 0); // node 1's AM full with its own master
-        s.write(0, 128, 1000); // evicts line 0 → forced injection at node 1
-        assert_eq!(s.stats().disk_spills, 1);
-        // The injected line survived at node 1; node 1's old master spilled.
-        let injected = s.dir.get(&0).unwrap();
-        assert_eq!(injected.owner, Some(1));
-        assert!(s.nodes[1].store.am.contains(0));
-        let spilled = s.dir.get(&1).unwrap();
-        assert!(spilled.on_disk);
-        // Reading the spilled line faults from disk.
-        let a = s.read(0, 64, 1_000_000);
-        assert!(a.done_at - 1_000_000 >= s.cfg.lat.disk);
-        assert_eq!(s.stats().disk_faults, 1);
-    }
-
-    #[test]
-    fn three_hop_when_home_displaced() {
-        let mut s = sys(1024);
-        // Page homed at node 0 but mastered at node 1 after a cold write
-        // at 0... instead: node 0 touches (master), node 1 writes (owner),
-        // node 2 reads → 3 hops via node 1.
-        s.read(0, 0x1000, 0);
-        s.write(1, 0x1000, 1000);
-        let a = s.read(2, 0x1000, 10_000);
-        assert_eq!(a.level, Level::Hop3);
-    }
-
-    #[test]
-    fn cache_hit_levels() {
-        let mut s = sys(1024);
-        s.read(0, 0x1000, 0);
-        assert_eq!(s.read(0, 0x1000, 100).level, Level::L1);
+        self.fab.stats.disk_spills += 1;
     }
 }

@@ -162,6 +162,10 @@ pub struct Access {
     pub done_at: Cycle,
     /// Which level satisfied it.
     pub level: Level,
+    /// Per-component latency decomposition, indexed by the constants in
+    /// [`pimdsm_obs::breakdown`]. The five entries sum to the
+    /// transaction's total latency (`done_at - now`) by construction.
+    pub breakdown: [Cycle; 5],
 }
 
 /// State of a line in a private (L1/L2) cache. Absence means invalid.
@@ -381,6 +385,12 @@ pub struct ProtoStats {
     pub reads_by_level: [u64; 5],
     /// Summed read latency per level, cycles.
     pub read_latency_by_level: [Cycle; 5],
+    /// Summed per-component read latency per level: the outer index is
+    /// [`Level::index`], the inner index the constants in
+    /// [`pimdsm_obs::breakdown`]. Each row sums to the corresponding
+    /// `read_latency_by_level` entry (the machine-checked Figure 7
+    /// decomposition).
+    pub read_breakdown_by_level: [[Cycle; 5]; 5],
     /// Write/upgrade transactions that left the node.
     pub remote_writes: u64,
     /// Invalidations sent.
@@ -405,6 +415,17 @@ impl ProtoStats {
     pub fn record_read(&mut self, level: Level, latency: Cycle) {
         self.reads_by_level[level.index()] += 1;
         self.read_latency_by_level[level.index()] += latency;
+    }
+
+    /// Accumulates a read's per-component latency decomposition (indexed
+    /// by the constants in [`pimdsm_obs::breakdown`]).
+    pub fn record_read_breakdown(&mut self, level: Level, comps: &[Cycle; 5]) {
+        for (slot, c) in self.read_breakdown_by_level[level.index()]
+            .iter_mut()
+            .zip(comps)
+        {
+            *slot += c;
+        }
     }
 
     /// Total reads.
@@ -439,9 +460,26 @@ impl ProtoStats {
                 .and_then(|x| x.as_u64())
                 .ok_or_else(|| format!("missing {key}"))
         };
+        let breakdown = |key: &str| -> Result<[[u64; 5]; 5], String> {
+            let obj = v.get(key).ok_or_else(|| format!("missing {key}"))?;
+            let mut out = [[0u64; 5]; 5];
+            for l in Level::ALL {
+                let row = obj
+                    .get(l.label())
+                    .ok_or_else(|| format!("missing {key}.{}", l.label()))?;
+                for (i, name) in pimdsm_obs::breakdown::COMPONENTS.iter().enumerate() {
+                    out[l.index()][i] = row
+                        .get(name)
+                        .and_then(|x| x.as_u64())
+                        .ok_or_else(|| format!("missing {key}.{}.{name}", l.label()))?;
+                }
+            }
+            Ok(out)
+        };
         Ok(ProtoStats {
             reads_by_level: by_level("reads_by_level")?,
             read_latency_by_level: by_level("read_latency_by_level")?,
+            read_breakdown_by_level: breakdown("read_breakdown_by_level")?,
             remote_writes: field("remote_writes")?,
             invalidations: field("invalidations")?,
             write_backs: field("write_backs")?,
@@ -465,12 +503,31 @@ impl pimdsm_obs::ToJson for ProtoStats {
                     .collect(),
             )
         };
+        let breakdown = JsonValue::Obj(
+            Level::ALL
+                .iter()
+                .map(|&l| {
+                    let row = &self.read_breakdown_by_level[l.index()];
+                    (
+                        l.label().to_string(),
+                        JsonValue::Obj(
+                            pimdsm_obs::breakdown::COMPONENTS
+                                .iter()
+                                .enumerate()
+                                .map(|(i, name)| (name.to_string(), JsonValue::u64(row[i])))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
         JsonValue::obj([
             ("reads_by_level", by_level(&self.reads_by_level)),
             (
                 "read_latency_by_level",
                 by_level(&self.read_latency_by_level),
             ),
+            ("read_breakdown_by_level", breakdown),
             ("remote_writes", JsonValue::u64(self.remote_writes)),
             ("invalidations", JsonValue::u64(self.invalidations)),
             ("write_backs", JsonValue::u64(self.write_backs)),
@@ -611,5 +668,16 @@ mod tests {
         assert_eq!(s.total_reads(), 2);
         assert_eq!(s.total_read_latency(), 303);
         assert_eq!(s.reads_by_level[Level::Hop2.index()], 1);
+    }
+
+    #[test]
+    fn breakdown_rows_accumulate_per_component() {
+        let mut s = ProtoStats::default();
+        s.record_read(Level::Hop2, 300);
+        s.record_read_breakdown(Level::Hop2, &[10, 200, 50, 30, 10]);
+        s.record_read_breakdown(Level::Hop2, &[5, 0, 0, 0, 0]);
+        let row = s.read_breakdown_by_level[Level::Hop2.index()];
+        assert_eq!(row, [15, 200, 50, 30, 10]);
+        assert_eq!(row.iter().sum::<u64>(), 305);
     }
 }

@@ -1,0 +1,303 @@
+//! The shared per-node protocol substrate.
+//!
+//! All three memory systems ([`AggSystem`](crate::AggSystem),
+//! [`ComaSystem`](crate::ComaSystem), [`NumaSystem`](crate::NumaSystem))
+//! sit on the same physical substrate: a page table mapping pages to
+//! homes, a wormhole mesh, a handler cost table, message sizing, the
+//! uncontended latency card and the aggregate statistics/tracing sinks.
+//! [`Fabric`] owns that substrate once, so a protocol file holds only its
+//! state machine (directory entries and per-node stores) and walks
+//! transactions over the shared [`Txn`](crate::txn::Txn) steps.
+//!
+//! Everything here is *timing-stateful*: dispatching a handler books a
+//! [`Server`], sending a message books link timelines. Callers must invoke
+//! these in transaction order with explicit cycle arguments, exactly as
+//! the protocol walks do.
+
+use pimdsm_engine::{Cycle, Server, ServerGrant};
+use pimdsm_mem::{Line, Page, PageTable};
+use pimdsm_net::Network;
+use pimdsm_obs::{trace::track, EpochProbe, Tracer};
+
+use crate::common::{HandlerCosts, HandlerKind, LatencyCfg, MsgSize, NodeId, ProtoStats};
+
+/// Display name for a handler span.
+fn handler_name(kind: HandlerKind) -> &'static str {
+    match kind {
+        HandlerKind::Read => "Read",
+        HandlerKind::ReadExclusive => "ReadEx",
+        HandlerKind::Acknowledgment => "Ack",
+        HandlerKind::WriteBack => "WriteBack",
+    }
+}
+
+/// The substrate shared by every protocol: homing, interconnect, handler
+/// costs, message sizing, statistics and tracing.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// Line size shift (lines are `1 << line_shift` bytes).
+    pub line_shift: u32,
+    /// Page size shift (pages are `1 << page_shift` bytes).
+    pub page_shift: u32,
+    /// Uncontended latency card (Table 1).
+    pub lat: LatencyCfg,
+    /// Interconnect message sizing.
+    pub msg: MsgSize,
+    /// Protocol handler cost table (Table 2).
+    pub handler: HandlerCosts,
+    /// Page → home-node map (first-touch or interleaved, per protocol).
+    pub pages: PageTable,
+    /// The contended interconnect.
+    pub net: Network,
+    /// Aggregate protocol statistics.
+    pub stats: ProtoStats,
+    /// Trace sink (disabled by default).
+    pub tracer: Tracer,
+}
+
+impl Fabric {
+    /// Assembles a fabric over a prebuilt network.
+    pub fn new(
+        line_shift: u32,
+        page_shift: u32,
+        lat: LatencyCfg,
+        msg: MsgSize,
+        handler: HandlerCosts,
+        net: Network,
+    ) -> Self {
+        Fabric {
+            line_shift,
+            page_shift,
+            lat,
+            msg,
+            handler,
+            pages: PageTable::new(page_shift),
+            net,
+            stats: ProtoStats::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1u64 << self.line_shift
+    }
+
+    /// Lines per page.
+    pub fn lines_per_page(&self) -> u64 {
+        1u64 << (self.page_shift - self.line_shift)
+    }
+
+    /// The page a line belongs to.
+    pub fn page_of(&self, line: Line) -> Page {
+        line >> (self.page_shift - self.line_shift)
+    }
+
+    /// Size in bytes of a control message.
+    pub fn msg_ctrl(&self) -> u32 {
+        self.msg.ctrl
+    }
+
+    /// Size in bytes of a data-bearing message (header plus one line).
+    pub fn msg_data(&self) -> u32 {
+        self.msg.data_header + (1u32 << self.line_shift)
+    }
+
+    /// The home of a line that must already be mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line's page has no home.
+    pub fn mapped_home(&self, line: Line) -> NodeId {
+        self.pages
+            .home(self.page_of(line))
+            .expect("resident line must have a home")
+    }
+
+    /// First-touch page homing with a capacity fallback (NUMA/COMA): the
+    /// toucher becomes the home while it has page capacity, otherwise the
+    /// least-loaded node takes the page.
+    pub fn first_touch_home(
+        &mut self,
+        line: Line,
+        toucher: NodeId,
+        n_nodes: usize,
+        cap_pages: u64,
+    ) -> NodeId {
+        let page = self.page_of(line);
+        if let Some(home) = self.pages.home(page) {
+            return home;
+        }
+        let home = if self.pages.pages_at(toucher) < cap_pages {
+            toucher
+        } else {
+            (0..n_nodes)
+                .min_by_key(|&n| (self.pages.pages_at(n), n))
+                .expect("machine has at least one node")
+        };
+        self.pages.home_or_assign(page, || home)
+    }
+
+    /// Threads a tracer through the fabric and its interconnect.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.net.attach_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Dispatches a protocol handler of `kind` (sending `invals`
+    /// invalidations) on `server` at node `at_node`, and traces its
+    /// occupancy span.
+    pub fn dispatch(
+        &mut self,
+        server: &mut Server,
+        at_node: NodeId,
+        kind: HandlerKind,
+        invals: u32,
+        at: Cycle,
+    ) -> ServerGrant {
+        let (lat, occ) = self.handler.cost(kind, invals);
+        let g = server.dispatch(at, lat, occ);
+        self.tracer.span(
+            track::PROTO,
+            at_node as u32,
+            handler_name(kind),
+            "proto.handler",
+            g.start,
+            occ.max(1),
+            &[("invals", invals as u64), ("queued", g.start - at)],
+        );
+        g
+    }
+
+    /// Books acknowledgment occupancy for a replacement hint on `server`
+    /// and traces it; returns the occupancy start.
+    pub fn hint_occupy(&mut self, server: &mut Server, at_node: NodeId, at: Cycle) -> Cycle {
+        let (_, ack_occ) = self.handler.cost(HandlerKind::Acknowledgment, 0);
+        let start = server.occupy(at, ack_occ);
+        self.tracer.span(
+            track::PROTO,
+            at_node as u32,
+            "Hint",
+            "proto.handler",
+            start,
+            ack_occ.max(1),
+            &[],
+        );
+        start
+    }
+
+    /// Invalidates a set of remote copies (NUMA/COMA shape): for each
+    /// target, a control message from `from`, acknowledgment occupancy on
+    /// the target's controller, the protocol-state effect via
+    /// `invalidate`, and an ack back to `collector`. Returns the cycle at
+    /// which the last ack arrives.
+    pub fn invalidate_fanout(
+        &mut self,
+        ctrls: &mut [Server],
+        targets: &[NodeId],
+        from: NodeId,
+        collector: NodeId,
+        at: Cycle,
+        mut invalidate: impl FnMut(NodeId),
+    ) -> Cycle {
+        let mut done = at;
+        let ctrl_bytes = self.msg_ctrl();
+        let (ack_lat, ack_occ) = self.handler.cost(HandlerKind::Acknowledgment, 0);
+        for &k in targets {
+            self.stats.invalidations += 1;
+            let t1 = self.net.send(from, k, ctrl_bytes, at);
+            invalidate(k);
+            let start = ctrls[k].occupy(t1, ack_occ);
+            let t2 = self.net.send(k, collector, ctrl_bytes, start + ack_lat);
+            done = done.max(t2);
+        }
+        done
+    }
+
+    /// Traces an attraction-memory hit at `node`.
+    pub fn am_hit(&mut self, node: NodeId, line: Line, at: Cycle) {
+        self.tracer.instant(
+            track::PROTO,
+            node as u32,
+            "hit",
+            "am.hit",
+            at,
+            &[("line", line)],
+        );
+    }
+
+    /// Traces an attraction-memory miss at `node`.
+    pub fn am_miss(&mut self, node: NodeId, line: Line, at: Cycle) {
+        self.tracer.instant(
+            track::PROTO,
+            node as u32,
+            "miss",
+            "am.miss",
+            at,
+            &[("line", line)],
+        );
+    }
+
+    /// Traces an attraction-memory insertion that displaced `victim`.
+    pub fn am_swap(&mut self, node: NodeId, new_line: Line, victim: Line, at: Cycle) {
+        self.tracer.instant(
+            track::PROTO,
+            node as u32,
+            "swap",
+            "am.swap",
+            at,
+            &[("line", new_line), ("victim", victim)],
+        );
+    }
+
+    /// Traces a disk fault at `home` (a paged-out or spilled line coming
+    /// back from disk).
+    pub fn disk_fault(&mut self, home: NodeId, line: Line, at: Cycle) {
+        self.tracer.instant(
+            track::PROTO,
+            home as u32,
+            "fault",
+            "proto.disk",
+            at,
+            &[("line", line)],
+        );
+    }
+
+    /// Traces a COMA master-line injection into `target`.
+    pub fn am_inject(&mut self, target: NodeId, line: Line, at: Cycle) {
+        self.tracer.instant(
+            track::PROTO,
+            target as u32,
+            "inject",
+            "am.inject",
+            at,
+            &[("line", line)],
+        );
+    }
+
+    /// Snapshot of cumulative counters for epoch sampling, given the
+    /// protocol's controller inventory (total busy cycles and count).
+    pub fn epoch_probe(&self, (ctrl_busy, ctrl_count): (Cycle, usize)) -> EpochProbe {
+        let n = self.net.stats();
+        EpochProbe {
+            ctrl_busy,
+            ctrl_count,
+            link_busy: self.net.total_link_busy(),
+            link_count: self.net.num_links(),
+            reads_by_level: self.stats.reads_by_level,
+            remote_writes: self.stats.remote_writes,
+            net_messages: n.messages,
+            ..EpochProbe::default()
+        }
+    }
+
+    /// Mean utilization of `count` controllers with `busy` total busy
+    /// cycles over `elapsed` cycles.
+    pub fn utilization(busy: Cycle, count: usize, elapsed: Cycle) -> f64 {
+        if elapsed == 0 || count == 0 {
+            0.0
+        } else {
+            busy as f64 / (elapsed as f64 * count as f64)
+        }
+    }
+}

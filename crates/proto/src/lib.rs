@@ -16,29 +16,50 @@
 //!   directory controller whose access is overlapped with the memory
 //!   access.
 //!
-//! All three share the same node substrate (L1/L2 private caches from
-//! [`pimdsm_mem`], the wormhole mesh from [`pimdsm_net`]) and the same
-//! conservatively-ordered transaction-walk timing model: every memory
-//! transaction books contended resources (links, protocol
-//! processors/controllers, DRAM ports) on its path and returns a completion
-//! cycle plus the satisfaction [`Level`] used for the paper's Figure 7
-//! breakdown.
+//! All three are thin protocol walks over a shared three-layer substrate:
+//!
+//! 1. [`fabric`] — the per-node machinery every protocol owns one of:
+//!    mesh links, first-touch page table, handler cost table, message
+//!    sizes, central [`ProtoStats`], tracer. It also hosts the shared
+//!    *mechanisms* (handler dispatch, invalidation fan-out, first-touch
+//!    placement) so the systems only encode protocol *policy*.
+//! 2. [`txn`] — the transaction-walk builder. A [`Txn`] walks one memory
+//!    transaction through the machine: each typed step (probe, send,
+//!    handler, DRAM access, fill) books the contended resource (links,
+//!    protocol processors/controllers, DRAM ports), emits the matching
+//!    trace event, and attributes the elapsed cycles to exactly one
+//!    latency component, so the cache/network/handler/DRAM/queueing
+//!    breakdown sums to the transaction's total latency (the paper's
+//!    Figure 7 decomposition, machine-checked).
+//! 3. [`check`] — the coherence oracle: full-sweep directory-vs-cache
+//!    assertions behind [`MemSystem::check_coherence`], and per-line
+//!    checks that run after **every** transaction when the
+//!    `coherence-oracle` feature is enabled.
+//!
+//! Every walk returns a completion cycle plus the satisfaction [`Level`]
+//! and per-component breakdown used for the paper's Figure 7.
 
 pub mod agg;
+pub mod check;
 pub mod coma;
 pub mod common;
 pub mod dnode;
+pub mod fabric;
 pub mod numa;
 pub mod pnode;
 pub mod system;
+pub mod txn;
 
 pub use agg::{AggCfg, AggSystem};
+pub use check::{check_agg, check_coma, check_numa};
 pub use coma::{ComaCfg, ComaSystem};
 pub use common::{
     Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
     MsgSize, NodeId, NodeSet, PreloadKind, ProtoStats,
 };
 pub use dnode::DNode;
+pub use fabric::Fabric;
 pub use numa::{NumaCfg, NumaSystem};
 pub use pnode::{PNodeStore, PrivCaches};
 pub use system::MemSystem;
+pub use txn::{Txn, TxnKind};

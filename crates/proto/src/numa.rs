@@ -8,19 +8,27 @@
 //! protocol is a DASH-style invalidation protocol: reads of remote-dirty
 //! lines forward to the owner (3 hops) with a sharing write-back to the
 //! home; writes invalidate sharers and collect acknowledgments.
+//!
+//! The shared per-node substrate (homing, interconnect, handler costs,
+//! statistics, tracing) lives in the [`Fabric`]; each memory transaction
+//! walks over [`Txn`] steps so contended resources are booked in protocol
+//! order and every cycle of latency is attributed to a component.
 
 use std::collections::BTreeMap;
 
-use pimdsm_engine::{Cycle, Server};
-use pimdsm_mem::{line_of, CacheCfg, Dram, Line, PageTable};
-use pimdsm_net::{Mesh, NetCfg, NetStats, Network};
+use pimdsm_engine::{Cycle, Server, ServerGrant};
+use pimdsm_mem::{line_of, CacheCfg, Dram, Line, Residency};
+use pimdsm_net::{Mesh, NetCfg, Network};
+use pimdsm_obs::breakdown::NETWORK;
 
 use crate::common::{
     Access, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level, MsgSize,
-    NodeId, NodeSet, PreloadKind, ProtoStats,
+    NodeId, NodeSet, PreloadKind,
 };
+use crate::fabric::Fabric;
 use crate::pnode::{OnChipLru, PrivCaches, WriteProbe};
-use crate::system::{data_bytes, MemSystem};
+use crate::system::MemSystem;
+use crate::txn::{cache_hit, Txn, TxnKind};
 
 /// Configuration of a [`NumaSystem`].
 #[derive(Debug, Clone)]
@@ -76,10 +84,14 @@ impl NumaCfg {
     }
 }
 
+/// Directory entry of one line at its home node.
 #[derive(Debug, Clone, Copy, Default)]
-struct DirEntry {
-    sharers: NodeSet,
-    owner: Option<NodeId>,
+pub struct DirEntry {
+    /// Nodes that may cache a clean copy (stale bits are legal: Shared
+    /// drops are silent and cost at most a wasted invalidation later).
+    pub sharers: NodeSet,
+    /// Exclusive (dirty) cache-level holder, if any.
+    pub owner: Option<NodeId>,
 }
 
 #[derive(Debug)]
@@ -88,7 +100,6 @@ struct NumaNode {
     onchip: OnChipLru,
     mem_on: Dram,
     mem_off: Dram,
-    ctrl: Server,
 }
 
 /// The CC-NUMA machine.
@@ -96,12 +107,11 @@ struct NumaNode {
 pub struct NumaSystem {
     cfg: NumaCfg,
     nodes: Vec<NumaNode>,
-    // Sorted-key map: directory sweeps (the end-of-run census and any
-    // whole-directory scan) must observe a deterministic order.
+    ctrls: Vec<Server>,
+    // Sorted-key map: directory sweeps (the end-of-run census, the
+    // coherence oracle) must observe a deterministic order.
     dir: BTreeMap<Line, DirEntry>,
-    pages: PageTable,
-    net: Network,
-    stats: ProtoStats,
+    fab: Fabric,
 }
 
 impl NumaSystem {
@@ -126,16 +136,22 @@ impl NumaSystem {
                     cfg.lat.mem_off.saturating_sub(overhead),
                     cfg.mem_bytes_per_cycle,
                 ),
-                ctrl: Server::new(),
             })
             .collect();
         let net = Network::new(Mesh::for_nodes(cfg.nodes), cfg.net);
+        let fab = Fabric::new(
+            cfg.line_shift,
+            cfg.page_shift,
+            cfg.lat,
+            cfg.msg,
+            cfg.handler,
+            net,
+        );
         NumaSystem {
-            pages: PageTable::new(cfg.page_shift),
+            ctrls: (0..cfg.nodes).map(|_| Server::new()).collect(),
             dir: BTreeMap::new(),
             nodes,
-            net,
-            stats: ProtoStats::default(),
+            fab,
             cfg,
         }
     }
@@ -145,42 +161,34 @@ impl NumaSystem {
         &self.cfg
     }
 
-    fn lines_per_page(&self) -> u64 {
-        1 << (self.cfg.page_shift - self.cfg.line_shift)
+    /// The directory entry of a line, if one exists.
+    pub fn dir_entry(&self, line: Line) -> Option<&DirEntry> {
+        self.dir.get(&line)
     }
 
-    fn capacity_pages(&self) -> u64 {
-        self.cfg.node_mem_lines / self.lines_per_page()
+    pub(crate) fn dir_lines(&self) -> Vec<Line> {
+        self.dir.keys().copied().collect()
+    }
+
+    pub(crate) fn n_nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    pub(crate) fn cached_state(&self, p: NodeId, line: Line) -> Option<CState> {
+        self.nodes[p].caches.peek_state(line)
     }
 
     /// Home of a line: first-touch with capacity spill to the
     /// least-loaded node.
     fn home_of(&mut self, line: Line, toucher: NodeId) -> NodeId {
-        let page = line >> (self.cfg.page_shift - self.cfg.line_shift);
-        if let Some(h) = self.pages.home(page) {
-            return h;
-        }
-        let cap = self.capacity_pages();
-        let home = if self.pages.pages_at(toucher) < cap {
-            toucher
-        } else {
-            (0..self.cfg.nodes)
-                .min_by_key(|&n| (self.pages.pages_at(n), n))
-                .expect("at least one node")
-        };
-        self.pages.home_or_assign(page, || home)
+        let cap = self.cfg.node_mem_lines / self.fab.lines_per_page();
+        self.fab
+            .first_touch_home(line, toucher, self.cfg.nodes, cap)
     }
 
-    fn ctrl_bytes(&self) -> u32 {
-        self.msg_ctrl()
-    }
-
-    fn msg_ctrl(&self) -> u32 {
-        self.cfg.msg.ctrl
-    }
-
-    fn msg_data(&self) -> u32 {
-        data_bytes(self.cfg.msg.data_header, self.cfg.line_shift)
+    fn dispatch(&mut self, node: NodeId, kind: HandlerKind, invals: u32, at: Cycle) -> ServerGrant {
+        self.fab
+            .dispatch(&mut self.ctrls[node], node, kind, invals, at)
     }
 
     /// Local memory access at `node` (dir access overlapped).
@@ -188,8 +196,8 @@ impl NumaSystem {
         let bytes = 1u64 << self.cfg.line_shift;
         let n = &mut self.nodes[node];
         match n.onchip.touch(line) {
-            pimdsm_mem::Residency::OnChip => n.mem_on.access(now, bytes),
-            pimdsm_mem::Residency::OffChip => n.mem_off.access(now, bytes),
+            Residency::OnChip => n.mem_on.access(now, bytes),
+            Residency::OffChip => n.mem_off.access(now, bytes),
         }
     }
 
@@ -202,28 +210,24 @@ impl NumaSystem {
                 // which later costs at most a wasted invalidation.
             }
             CState::Dirty => {
-                self.stats.write_backs += 1;
-                let home = self
-                    .pages
-                    .home(line >> (self.cfg.page_shift - self.cfg.line_shift))
-                    .expect("dirty line must have a mapped page");
-                let entry = self.dir.entry(line).or_default();
-                entry.owner = None;
+                self.fab.stats.write_backs += 1;
+                let home = self.fab.mapped_home(line);
+                self.dir.entry(line).or_default().owner = None;
                 if home == node {
                     self.local_mem(node, line, now);
                 } else {
-                    let bytes = self.msg_data();
-                    let t = self.net.send(node, home, bytes, now);
-                    let (l, o) = self.cfg.handler.cost(HandlerKind::WriteBack, 0);
-                    let g = self.nodes[home].ctrl.dispatch(t, l, o);
+                    let bytes = self.fab.msg_data();
+                    let t = self.fab.net.send(node, home, bytes, now);
+                    let g = self.dispatch(home, HandlerKind::WriteBack, 0, t);
                     self.local_mem(home, line, g.start);
                 }
             }
         }
     }
 
-    /// Invalidates `line` at each node of `targets`, acks collected at
-    /// `collector`. Returns the cycle when the last ack arrives.
+    /// Invalidates `line` at each node of `targets` (caches only — NUMA
+    /// has no attraction memory), acks collected at `collector`. Returns
+    /// the cycle when the last ack arrives.
     fn invalidate_all(
         &mut self,
         targets: &[NodeId],
@@ -232,18 +236,214 @@ impl NumaSystem {
         collector: NodeId,
         at: Cycle,
     ) -> Cycle {
-        let mut done = at;
-        let ctrl = self.ctrl_bytes();
-        let (al, ao) = self.cfg.handler.cost(HandlerKind::Acknowledgment, 0);
-        for &k in targets {
-            self.stats.invalidations += 1;
-            let t1 = self.net.send(from, k, ctrl, at);
-            self.nodes[k].caches.invalidate(line);
-            let start = self.nodes[k].ctrl.occupy(t1, ao);
-            let t2 = self.net.send(k, collector, ctrl, start + al);
-            done = done.max(t2);
+        let nodes = &mut self.nodes;
+        self.fab
+            .invalidate_fanout(&mut self.ctrls, targets, from, collector, at, |k| {
+                nodes[k].caches.invalidate(line);
+            })
+    }
+
+    fn read_walk(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        if let Some(level) = self.nodes[node].caches.read_probe(line) {
+            return cache_hit(&mut self.fab, level, now, true);
         }
-        done
+
+        let mut tx = Txn::start(node, line, now);
+        tx.probe(self.fab.lat.l2); // L1+L2 probe time before going out
+        let home = self.home_of(line, node);
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let ctrl = self.fab.msg_ctrl();
+        let data = self.fab.msg_data();
+
+        let level = if home == node {
+            match entry.owner {
+                Some(k) if k != node => {
+                    // Local home, dirty at remote k: fetch + write back here.
+                    let t1 = tx.send(&mut self.fab, node, k, ctrl);
+                    let g = self.dispatch(k, HandlerKind::Read, 0, t1);
+                    tx.handler(g);
+                    self.nodes[k].caches.downgrade(line);
+                    let t2 = tx.send(&mut self.fab, k, node, data);
+                    self.local_mem(node, line, t2); // sharing write-back
+                    let e = self.dir.entry(line).or_default();
+                    e.owner = None;
+                    e.sharers.insert(k);
+                    Level::Hop2
+                }
+                _ => {
+                    // Clean at local home: directory overlapped with memory.
+                    let m = self.local_mem(node, line, tx.at());
+                    tx.dram(m);
+                    Level::LocalMem
+                }
+            }
+        } else {
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            let g = self.dispatch(home, HandlerKind::Read, 0, t1);
+            match entry.owner {
+                Some(k) if k != node && k != home => {
+                    // Forward to the owner; owner replies to the requestor
+                    // and writes the line back to the home (DASH style).
+                    tx.handler(g);
+                    let t2 = tx.send(&mut self.fab, home, k, ctrl);
+                    let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
+                    let gr2 = g2.reply_at;
+                    tx.handler(g2);
+                    self.nodes[k].caches.downgrade(line);
+                    tx.send(&mut self.fab, k, node, data);
+                    let twb = self.fab.net.send(k, home, data, gr2);
+                    self.local_mem(home, line, twb);
+                    let e = self.dir.entry(line).or_default();
+                    e.owner = None;
+                    e.sharers.insert(k);
+                    self.fab.stats.master_fetches += 1;
+                    Level::Hop3
+                }
+                Some(k) if k == home => {
+                    // Home itself holds it dirty in its caches.
+                    tx.handler(g);
+                    self.nodes[home].caches.downgrade(line);
+                    let m = self.local_mem(home, line, tx.at());
+                    tx.dram(m);
+                    tx.send(&mut self.fab, home, node, data);
+                    let e = self.dir.entry(line).or_default();
+                    e.owner = None;
+                    e.sharers.insert(home);
+                    Level::Hop2
+                }
+                _ => {
+                    // Clean at home: the directory access is overlapped
+                    // with the memory access and adds no latency.
+                    tx.handler_start(g);
+                    let m = self.local_mem(home, line, g.start);
+                    tx.dram(m);
+                    tx.send(&mut self.fab, home, node, data);
+                    Level::Hop2
+                }
+            }
+        };
+
+        self.dir.entry(line).or_default().sharers.insert(node);
+        tx.fill(&self.fab);
+        let victim = self.nodes[node].caches.fill(line, CState::Shared);
+        self.handle_victim(node, victim, tx.at());
+        tx.finish(&mut self.fab, level, TxnKind::Read, true)
+    }
+
+    fn write_walk(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
+        let line = line_of(addr, self.cfg.line_shift);
+        match self.nodes[node].caches.write_probe(line) {
+            WriteProbe::Done(level) => return cache_hit(&mut self.fab, level, now, false),
+            WriteProbe::NeedUpgrade => {
+                let mut tx = Txn::start(node, line, now);
+                tx.probe(self.fab.lat.l2);
+                let home = self.home_of(line, node);
+                let entry = self.dir.entry(line).or_default();
+                let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
+                entry.sharers = NodeSet::singleton(node);
+                entry.owner = Some(node);
+                let n_inv = targets.len() as u32;
+                let ctrl = self.fab.msg_ctrl();
+                let level = if home == node {
+                    let g = self.dispatch(home, HandlerKind::ReadExclusive, n_inv, tx.at());
+                    tx.handler(g);
+                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                    tx.to(NETWORK, acks);
+                    Level::LocalMem
+                } else {
+                    self.fab.stats.remote_writes += 1;
+                    let t1 = tx.send(&mut self.fab, node, home, ctrl);
+                    let g = self.dispatch(home, HandlerKind::ReadExclusive, n_inv, t1);
+                    tx.handler(g);
+                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                    tx.send(&mut self.fab, home, node, ctrl);
+                    tx.to(NETWORK, acks);
+                    Level::Hop2
+                };
+                self.nodes[node].caches.mark_dirty(line);
+                tx.fill(&self.fab);
+                return tx.finish(&mut self.fab, level, TxnKind::Write, true);
+            }
+            WriteProbe::Miss => {}
+        }
+
+        // Read-exclusive: fetch the line with ownership.
+        let mut tx = Txn::start(node, line, now);
+        tx.probe(self.fab.lat.l2);
+        let home = self.home_of(line, node);
+        let entry = self.dir.get(&line).copied().unwrap_or_default();
+        let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
+        let n_inv = targets.len() as u32;
+        let ctrl = self.fab.msg_ctrl();
+        let data = self.fab.msg_data();
+
+        let level = if home == node {
+            match entry.owner {
+                Some(k) if k != node => {
+                    let t1 = tx.send(&mut self.fab, node, k, ctrl);
+                    let g = self.dispatch(k, HandlerKind::ReadExclusive, n_inv, t1);
+                    tx.handler(g);
+                    self.nodes[k].caches.invalidate(line);
+                    self.fab.stats.invalidations += 1;
+                    tx.send(&mut self.fab, k, node, data);
+                    Level::Hop2
+                }
+                _ => {
+                    // The directory access overlaps the memory read; the
+                    // transaction completes when both the local line and
+                    // the last invalidation ack are in.
+                    let g = self.dispatch(node, HandlerKind::ReadExclusive, n_inv, tx.at());
+                    let m = self.local_mem(node, line, tx.at());
+                    let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
+                    tx.dram(m);
+                    tx.to(NETWORK, acks);
+                    Level::LocalMem
+                }
+            }
+        } else {
+            self.fab.stats.remote_writes += 1;
+            let t1 = tx.send(&mut self.fab, node, home, ctrl);
+            let g = self.dispatch(home, HandlerKind::ReadExclusive, n_inv, t1);
+            match entry.owner {
+                Some(k) if k != node && k != home => {
+                    tx.handler(g);
+                    let t2 = tx.send(&mut self.fab, home, k, ctrl);
+                    let g2 = self.dispatch(k, HandlerKind::Read, 0, t2);
+                    tx.handler(g2);
+                    self.nodes[k].caches.invalidate(line);
+                    self.fab.stats.invalidations += 1;
+                    tx.send(&mut self.fab, k, node, data);
+                    Level::Hop3
+                }
+                Some(k) if k == home => {
+                    tx.handler(g);
+                    self.nodes[home].caches.invalidate(line);
+                    self.fab.stats.invalidations += 1;
+                    let m = self.local_mem(home, line, tx.at());
+                    tx.dram(m);
+                    tx.send(&mut self.fab, home, node, data);
+                    Level::Hop2
+                }
+                _ => {
+                    tx.handler_start(g);
+                    let m = self.local_mem(home, line, g.start);
+                    tx.dram(m);
+                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
+                    tx.send(&mut self.fab, home, node, data);
+                    tx.to(NETWORK, acks);
+                    Level::Hop2
+                }
+            }
+        };
+
+        let e = self.dir.entry(line).or_default();
+        e.sharers.clear();
+        e.owner = Some(node);
+        tx.fill(&self.fab);
+        let victim = self.nodes[node].caches.fill(line, CState::Dirty);
+        self.handle_victim(node, victim, tx.at());
+        tx.finish(&mut self.fab, level, TxnKind::Write, true)
     }
 }
 
@@ -253,225 +453,38 @@ impl MemSystem for NumaSystem {
     }
 
     fn read(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
-        let line = line_of(addr, self.cfg.line_shift);
-        if let Some(level) = self.nodes[node].caches.read_probe(line) {
-            let lat = match level {
-                Level::L1 => self.cfg.lat.l1,
-                _ => self.cfg.lat.l2,
-            };
-            let done = now + lat;
-            self.stats.record_read(level, lat);
-            return Access {
-                done_at: done,
-                level,
-            };
-        }
-
-        let t = now + self.cfg.lat.l2; // L1+L2 probe time before going out
-        let home = self.home_of(line, node);
-        let entry = self.dir.get(&line).copied().unwrap_or_default();
-        let ctrl = self.ctrl_bytes();
-        let data = self.msg_data();
-        let (rl, ro) = self.cfg.handler.cost(HandlerKind::Read, 0);
-
-        let (data_at, level) = if home == node {
-            match entry.owner {
-                Some(k) if k != node => {
-                    // Local home, dirty at remote k: fetch + write back here.
-                    let t1 = self.net.send(node, k, ctrl, t);
-                    let g = self.nodes[k].ctrl.dispatch(t1, rl, ro);
-                    self.nodes[k].caches.downgrade(line);
-                    let t2 = self.net.send(k, node, data, g.reply_at);
-                    self.local_mem(node, line, t2); // sharing write-back
-                    let e = self.dir.entry(line).or_default();
-                    e.owner = None;
-                    e.sharers.insert(k);
-                    (t2, Level::Hop2)
-                }
-                _ => {
-                    // Clean at local home: directory overlapped with memory.
-                    let m = self.local_mem(node, line, t);
-                    (m, Level::LocalMem)
-                }
-            }
-        } else {
-            let t1 = self.net.send(node, home, ctrl, t);
-            let g = self.nodes[home].ctrl.dispatch(t1, rl, ro);
-            match entry.owner {
-                Some(k) if k != node && k != home => {
-                    // Forward to the owner; owner replies to the requestor
-                    // and writes the line back to the home (DASH style).
-                    let t2 = self.net.send(home, k, ctrl, g.reply_at);
-                    let g2 = self.nodes[k].ctrl.dispatch(t2, rl, ro);
-                    self.nodes[k].caches.downgrade(line);
-                    let t3 = self.net.send(k, node, data, g2.reply_at);
-                    let twb = self.net.send(k, home, data, g2.reply_at);
-                    self.local_mem(home, line, twb);
-                    let e = self.dir.entry(line).or_default();
-                    e.owner = None;
-                    e.sharers.insert(k);
-                    self.stats.master_fetches += 1;
-                    (t3, Level::Hop3)
-                }
-                Some(k) if k == home => {
-                    // Home itself holds it dirty in its caches.
-                    self.nodes[home].caches.downgrade(line);
-                    let m = self.local_mem(home, line, g.reply_at);
-                    let t2 = self.net.send(home, node, data, m);
-                    let e = self.dir.entry(line).or_default();
-                    e.owner = None;
-                    e.sharers.insert(home);
-                    (t2, Level::Hop2)
-                }
-                _ => {
-                    // Clean at home: the directory access is overlapped
-                    // with the memory access and adds no latency.
-                    let m = self.local_mem(home, line, g.start);
-                    let t2 = self.net.send(home, node, data, m);
-                    (t2, Level::Hop2)
-                }
-            }
-        };
-
-        self.dir.entry(line).or_default().sharers.insert(node);
-        let done = data_at + self.cfg.lat.fill;
-        let victim = self.nodes[node].caches.fill(line, CState::Shared);
-        self.handle_victim(node, victim, done);
-        self.stats.record_read(level, done - now);
-        Access {
-            done_at: done,
-            level,
-        }
+        let a = self.read_walk(node, addr, now);
+        #[cfg(feature = "coherence-oracle")]
+        crate::check::numa_line(self, line_of(addr, self.cfg.line_shift));
+        a
     }
 
     fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access {
-        let line = line_of(addr, self.cfg.line_shift);
-        match self.nodes[node].caches.write_probe(line) {
-            WriteProbe::Done(level) => {
-                let lat = match level {
-                    Level::L1 => self.cfg.lat.l1,
-                    _ => self.cfg.lat.l2,
-                };
-                return Access {
-                    done_at: now + lat,
-                    level,
-                };
-            }
-            WriteProbe::NeedUpgrade => {
-                let t = now + self.cfg.lat.l2;
-                let home = self.home_of(line, node);
-                let entry = self.dir.entry(line).or_default();
-                let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
-                entry.sharers.clear();
-                entry.sharers.insert(node);
-                entry.owner = Some(node);
-                let ctrl = self.ctrl_bytes();
-                let (xl, xo) = self
-                    .cfg
-                    .handler
-                    .cost(HandlerKind::ReadExclusive, targets.len() as u32);
-                let (done, level) = if home == node {
-                    let g = self.nodes[home].ctrl.dispatch(t, xl, xo);
-                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
-                    (acks.max(g.reply_at), Level::LocalMem)
-                } else {
-                    self.stats.remote_writes += 1;
-                    let t1 = self.net.send(node, home, ctrl, t);
-                    let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
-                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
-                    let grant = self.net.send(home, node, ctrl, g.reply_at);
-                    (acks.max(grant), Level::Hop2)
-                };
-                self.nodes[node].caches.mark_dirty(line);
-                return Access {
-                    done_at: done + self.cfg.lat.fill,
-                    level,
-                };
-            }
-            WriteProbe::Miss => {}
-        }
-
-        // Read-exclusive: fetch the line with ownership.
-        let t = now + self.cfg.lat.l2;
-        let home = self.home_of(line, node);
-        let entry = self.dir.get(&line).copied().unwrap_or_default();
-        let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
-        let ctrl = self.ctrl_bytes();
-        let data = self.msg_data();
-        let (xl, xo) = self
-            .cfg
-            .handler
-            .cost(HandlerKind::ReadExclusive, targets.len() as u32);
-
-        let (data_at, level) = if home == node {
-            match entry.owner {
-                Some(k) if k != node => {
-                    let t1 = self.net.send(node, k, ctrl, t);
-                    let g = self.nodes[k].ctrl.dispatch(t1, xl, xo);
-                    self.nodes[k].caches.invalidate(line);
-                    self.stats.invalidations += 1;
-                    let t2 = self.net.send(k, node, data, g.reply_at);
-                    (t2, Level::Hop2)
-                }
-                _ => {
-                    let g = self.nodes[node].ctrl.dispatch(t, xl, xo);
-                    let m = self.local_mem(node, line, t);
-                    let acks = self.invalidate_all(&targets, line, node, node, g.reply_at);
-                    (m.max(acks), Level::LocalMem)
-                }
-            }
-        } else {
-            self.stats.remote_writes += 1;
-            let t1 = self.net.send(node, home, ctrl, t);
-            let g = self.nodes[home].ctrl.dispatch(t1, xl, xo);
-            match entry.owner {
-                Some(k) if k != node && k != home => {
-                    let t2 = self.net.send(home, k, ctrl, g.reply_at);
-                    let (rl, ro) = self.cfg.handler.cost(HandlerKind::Read, 0);
-                    let g2 = self.nodes[k].ctrl.dispatch(t2, rl, ro);
-                    self.nodes[k].caches.invalidate(line);
-                    self.stats.invalidations += 1;
-                    let t3 = self.net.send(k, node, data, g2.reply_at);
-                    (t3, Level::Hop3)
-                }
-                Some(k) if k == home => {
-                    self.nodes[home].caches.invalidate(line);
-                    self.stats.invalidations += 1;
-                    let m = self.local_mem(home, line, g.reply_at);
-                    let t2 = self.net.send(home, node, data, m);
-                    (t2, Level::Hop2)
-                }
-                _ => {
-                    let m = self.local_mem(home, line, g.start);
-                    let acks = self.invalidate_all(&targets, line, home, node, g.reply_at);
-                    let t2 = self.net.send(home, node, data, m);
-                    (t2.max(acks), Level::Hop2)
-                }
-            }
-        };
-
-        let e = self.dir.entry(line).or_default();
-        e.sharers.clear();
-        e.owner = Some(node);
-        let done = data_at + self.cfg.lat.fill;
-        let victim = self.nodes[node].caches.fill(line, CState::Dirty);
-        self.handle_victim(node, victim, done);
-        Access {
-            done_at: done,
-            level,
-        }
+        let a = self.write_walk(node, addr, now);
+        #[cfg(feature = "coherence-oracle")]
+        crate::check::numa_line(self, line_of(addr, self.cfg.line_shift));
+        a
     }
 
-    fn line_shift(&self) -> u32 {
-        self.cfg.line_shift
+    fn fabric(&self) -> &Fabric {
+        &self.fab
+    }
+
+    fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fab
+    }
+
+    fn controllers_busy(&self) -> (Cycle, usize) {
+        let busy: Cycle = self.ctrls.iter().map(|c| c.busy_cycles()).sum();
+        (busy, self.ctrls.len())
+    }
+
+    fn check_coherence(&self) {
+        crate::check::check_numa(self);
     }
 
     fn compute_nodes(&self) -> Vec<NodeId> {
         (0..self.cfg.nodes).collect()
-    }
-
-    fn stats(&self) -> &ProtoStats {
-        &self.stats
     }
 
     fn census(&self) -> Census {
@@ -492,154 +505,10 @@ impl MemSystem for NumaSystem {
         c
     }
 
-    fn net_stats(&self) -> NetStats {
-        self.net.stats()
-    }
-
-    fn net_link_busy(&self) -> (Cycle, Cycle) {
-        (self.net.total_link_busy(), self.net.max_link_busy())
-    }
-
-    fn controller_utilization(&self, elapsed: Cycle) -> f64 {
-        if elapsed == 0 {
-            return 0.0;
-        }
-        let busy: Cycle = self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum();
-        busy as f64 / (elapsed * self.nodes.len() as u64) as f64
-    }
-
-    fn attach_tracer(&mut self, tracer: pimdsm_obs::Tracer) {
-        // NUMA's hardware controllers emit no per-handler spans; link
-        // transfers are still recorded by the network.
-        self.net.attach_tracer(tracer);
-    }
-
-    fn epoch_probe(&self) -> pimdsm_obs::EpochProbe {
-        pimdsm_obs::EpochProbe {
-            ctrl_busy: self.nodes.iter().map(|n| n.ctrl.busy_cycles()).sum(),
-            ctrl_count: self.nodes.len(),
-            link_busy: self.net.total_link_busy(),
-            link_count: self.net.num_links(),
-            shared_list_depth: 0,
-            free_slots: 0,
-            reads_by_level: self.stats.reads_by_level,
-            remote_writes: self.stats.remote_writes,
-            net_messages: self.net.stats().messages,
-        }
-    }
-
     fn preload(&mut self, addr: u64, owner: NodeId, _kind: PreloadKind) {
         let line = line_of(addr, self.cfg.line_shift);
         // Plain memory backs everything: establishing the page home is
         // all the state NUMA needs (capacity spill included).
         self.home_of(line, owner);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sys() -> NumaSystem {
-        NumaSystem::new(NumaCfg::paper(4, 8, 32, 4096))
-    }
-
-    #[test]
-    fn first_read_is_local_after_first_touch() {
-        let mut s = sys();
-        let a = s.read(0, 0x1000, 0);
-        assert_eq!(a.level, Level::LocalMem);
-        // Round trip within a few cycles of Table 1 (37) plus probe/fill.
-        assert!(a.done_at < 70, "local read took {}", a.done_at);
-    }
-
-    #[test]
-    fn cache_hits_after_fill() {
-        let mut s = sys();
-        s.read(0, 0x1000, 0);
-        let a = s.read(0, 0x1000, 100);
-        assert_eq!(a.level, Level::L1);
-        assert_eq!(a.done_at, 103);
-    }
-
-    #[test]
-    fn remote_read_is_two_hops() {
-        let mut s = sys();
-        s.read(0, 0x1000, 0); // node 0 first-touches the page
-        let a = s.read(1, 0x1000, 1000);
-        assert_eq!(a.level, Level::Hop2);
-        assert!(a.done_at - 1000 > 100, "remote read too fast");
-    }
-
-    #[test]
-    fn dirty_remote_read_is_three_hops() {
-        let mut s = sys();
-        s.read(0, 0x1000, 0); // home = node 0
-        s.write(1, 0x1000, 100); // node 1 owns it dirty
-        let a = s.read(2, 0x1000, 10_000);
-        assert_eq!(a.level, Level::Hop3);
-    }
-
-    #[test]
-    fn read_after_dirty_remote_finds_clean_home() {
-        let mut s = sys();
-        s.read(0, 0x1000, 0);
-        s.write(1, 0x1000, 100);
-        s.read(2, 0x1000, 10_000); // forces sharing write-back to home 0
-        let a = s.read(3, 0x1000, 100_000);
-        assert_eq!(a.level, Level::Hop2, "home has a clean copy again");
-    }
-
-    #[test]
-    fn write_hit_dirty_is_cheap() {
-        let mut s = sys();
-        s.write(0, 0x1000, 0);
-        let a = s.write(0, 0x1000, 500);
-        assert_eq!(a.level, Level::L1);
-        assert_eq!(a.done_at, 503);
-    }
-
-    #[test]
-    fn upgrade_invalidates_sharers() {
-        let mut s = sys();
-        s.read(0, 0x1000, 0);
-        s.read(1, 0x1000, 1000);
-        s.read(2, 0x1000, 2000);
-        let before = s.stats().invalidations;
-        s.write(1, 0x1000, 10_000);
-        assert!(s.stats().invalidations >= before + 2, "0 and 2 invalidated");
-        // Node 2's cached copy is gone: reading again is remote.
-        let a = s.read(2, 0x1000, 100_000);
-        assert_ne!(a.level, Level::L1);
-        assert_ne!(a.level, Level::L2);
-    }
-
-    #[test]
-    fn local_write_to_uncached_line() {
-        let mut s = sys();
-        let a = s.write(0, 0x2000, 0);
-        assert_eq!(a.level, Level::LocalMem);
-    }
-
-    #[test]
-    fn census_counts_states() {
-        let mut s = sys();
-        s.read(0, 0x0, 0); // shared
-        s.write(1, 0x4000, 0); // dirty at 1 (page homed at 1)
-        let c = s.census();
-        assert_eq!(c.shared_in_p, 1);
-        assert_eq!(c.dirty_in_p, 1);
-    }
-
-    #[test]
-    fn first_touch_spills_when_node_full() {
-        // Tiny memory: 64 lines per node = 1 page of 64 lines.
-        let mut cfg = NumaCfg::paper(2, 8, 32, 64);
-        cfg.page_shift = 12;
-        let mut s = NumaSystem::new(cfg);
-        s.read(0, 0, 0); // page 0 -> node 0 (fills its 1-page capacity)
-        s.read(0, 0x1000, 100); // page 1 must spill to node 1
-        assert_eq!(s.pages.home(0), Some(0));
-        assert_eq!(s.pages.home(1), Some(1));
     }
 }

@@ -4,7 +4,18 @@
 use pimdsm_engine::Cycle;
 use pimdsm_mem::{AttractionMemory, CacheCfg, Dram, KeyedQueue, Line, Residency, SetAssocCache};
 
-use crate::common::{AmState, CState, Level};
+use crate::common::{AmState, CState, LatencyCfg, Level};
+
+/// Attraction-memory replacement priority shared by AGG and COMA:
+/// invalid ways are free, then shared non-master lines, then master,
+/// then dirty (the paper's Section 3 preference order).
+pub fn victim_class(s: &AmState) -> u32 {
+    match s {
+        AmState::Shared => 2,
+        AmState::SharedMaster => 1,
+        AmState::Dirty => 0,
+    }
+}
 
 /// Result of probing the private caches for a write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,12 +286,61 @@ impl PNodeStore {
         }
     }
 
+    /// Builds a store whose DRAM device latencies are calibrated so the
+    /// end-to-end local round trip (L2 probe + AM tag check + device +
+    /// fill) lands on the latency table's `mem_on`/`mem_off` values.
+    pub fn calibrated(
+        l1: CacheCfg,
+        l2: CacheCfg,
+        am_cfg: CacheCfg,
+        onchip_lines: usize,
+        lat: &LatencyCfg,
+        mem_bytes_per_cycle: u64,
+    ) -> Self {
+        let overhead = lat.l2 + lat.am_tag_check + lat.fill;
+        PNodeStore::new(
+            l1,
+            l2,
+            am_cfg,
+            onchip_lines,
+            lat.mem_on.saturating_sub(overhead),
+            lat.mem_off.saturating_sub(overhead),
+            mem_bytes_per_cycle,
+        )
+    }
+
+    /// Drops a line from the private caches only; a dirty cached copy
+    /// folds its modification back into the attraction memory (which
+    /// backs the caches, so no data is lost).
+    pub fn purge_caches(&mut self, line: Line) {
+        if self.caches.invalidate(line) == Some(CState::Dirty) {
+            if let Some(s) = self.am.peek_mut(line) {
+                *s = AmState::Dirty;
+            }
+        }
+    }
+
     /// Times a local memory access that hit with the given residency.
     pub fn mem_access(&mut self, residency: Residency, now: Cycle, bytes: u64) -> Cycle {
         match residency {
             Residency::OnChip => self.mem_on.access(now, bytes),
             Residency::OffChip => self.mem_off.access(now, bytes),
         }
+    }
+
+    /// Fills the private caches after a serviced miss, folding a dirty L2
+    /// victim's modification into the attraction memory (the AM backs the
+    /// caches, so the victim's data merges locally rather than writing
+    /// back). Returns the victim so protocol-specific directory state can
+    /// follow the merge (COMA reinstates ownership at this node).
+    pub fn fill_caches(&mut self, line: Line, state: CState) -> Option<(Line, CState)> {
+        let victim = self.caches.fill(line, state);
+        if let Some((vline, CState::Dirty)) = victim {
+            if let Some(am) = self.am.peek_mut(vline) {
+                *am = AmState::Dirty;
+            }
+        }
+        victim
     }
 }
 

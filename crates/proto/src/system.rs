@@ -5,6 +5,7 @@ use pimdsm_net::NetStats;
 use pimdsm_obs::{EpochProbe, Tracer};
 
 use crate::common::{Access, Census, NodeId, PreloadKind, ProtoStats};
+use crate::fabric::Fabric;
 
 /// A complete coherent memory system: caches, local memories, directory
 /// protocol and interconnect.
@@ -13,6 +14,14 @@ use crate::common::{Access, Census, NodeId, PreloadKind, ProtoStats};
 /// per thread; implementations walk the transaction synchronously, booking
 /// every contended resource along its path, and return the completion
 /// cycle plus the satisfaction level.
+///
+/// Every implementation owns a [`Fabric`] — the shared per-node substrate
+/// (page homing, interconnect, handler costs, statistics, tracing) — and
+/// exposes it through [`fabric`](MemSystem::fabric). Observability and
+/// accounting methods (`stats`, `net_stats`, `controller_utilization`,
+/// `attach_tracer`, `epoch_probe`, …) have default implementations over
+/// the fabric, so a protocol only writes its transaction walks, its
+/// census, and its coherence oracle.
 pub trait MemSystem {
     /// Short architecture name ("NUMA", "COMA", "AGG").
     fn name(&self) -> &'static str;
@@ -24,52 +33,70 @@ pub trait MemSystem {
     /// Performs a write (obtains ownership) issued by `node` at `now`.
     fn write(&mut self, node: NodeId, addr: u64, now: Cycle) -> Access;
 
+    /// The shared protocol substrate of this system.
+    fn fabric(&self) -> &Fabric;
+
+    /// Mutable access to the substrate (tracer attachment).
+    fn fabric_mut(&mut self) -> &mut Fabric;
+
+    /// Total busy cycles and count of the protocol controllers / D-node
+    /// processors, for utilization and epoch metrics.
+    fn controllers_busy(&self) -> (Cycle, usize);
+
+    /// Runs the full-sweep coherence oracle over every directory entry,
+    /// panicking on the first invariant violation (see [`crate::check`]).
+    fn check_coherence(&self);
+
     /// Line size shift (lines are `1 << line_shift()` bytes).
-    fn line_shift(&self) -> u32;
+    fn line_shift(&self) -> u32 {
+        self.fabric().line_shift
+    }
 
     /// The nodes on which application threads run (all nodes for
     /// NUMA/COMA; the P-nodes for AGG).
     fn compute_nodes(&self) -> Vec<NodeId>;
 
     /// Aggregate protocol statistics.
-    fn stats(&self) -> &ProtoStats;
+    fn stats(&self) -> &ProtoStats {
+        &self.fabric().stats
+    }
 
     /// Classification of every mapped line (Figure 8); meaningful mainly
     /// for AGG but implemented by all systems.
     fn census(&self) -> Census;
 
     /// Interconnect statistics.
-    fn net_stats(&self) -> NetStats;
+    fn net_stats(&self) -> NetStats {
+        self.fabric().net.stats()
+    }
 
     /// (total, max-per-link) busy cycles on the interconnect.
-    fn net_link_busy(&self) -> (Cycle, Cycle);
+    fn net_link_busy(&self) -> (Cycle, Cycle) {
+        let net = &self.fabric().net;
+        (net.total_link_busy(), net.max_link_busy())
+    }
 
     /// Mean utilization of the protocol controllers/D-node processors over
     /// `elapsed` cycles, in `[0, 1]`.
-    fn controller_utilization(&self, elapsed: Cycle) -> f64;
+    fn controller_utilization(&self, elapsed: Cycle) -> f64 {
+        let (busy, count) = self.controllers_busy();
+        Fabric::utilization(busy, count, elapsed)
+    }
 
-    /// Attaches a [`Tracer`]; implementations thread it through their
-    /// interconnect and protocol engines so an enabled tracer records
-    /// handler occupancy, attraction-memory events and link transfers.
-    /// The default implementation ignores the tracer (no-op).
-    fn attach_tracer(&mut self, _tracer: Tracer) {}
+    /// Attaches a [`Tracer`], threading it through the interconnect and
+    /// protocol engines so an enabled tracer records handler occupancy,
+    /// attraction-memory events and link transfers.
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.fabric_mut().attach_tracer(tracer);
+    }
 
     /// Snapshot of cumulative counters for epoch-based metrics sampling.
     ///
-    /// The default covers what the trait already exposes (read mix, remote
-    /// writes, network totals); implementations override it to add
-    /// controller busy time, link inventories and directory list depths.
+    /// The default covers controller busy time, the read mix, remote
+    /// writes and network totals; AGG overrides it to add directory list
+    /// depths.
     fn epoch_probe(&self) -> EpochProbe {
-        let s = self.stats();
-        let n = self.net_stats();
-        let (link_busy, _) = self.net_link_busy();
-        EpochProbe {
-            link_busy,
-            reads_by_level: s.reads_by_level,
-            remote_writes: s.remote_writes,
-            net_messages: n.messages,
-            ..EpochProbe::default()
-        }
+        self.fabric().epoch_probe(self.controllers_busy())
     }
 
     /// Functionally installs a line that existed before the measured
@@ -78,9 +105,4 @@ pub trait MemSystem {
     /// and places the data where that kind of initialization leaves it.
     /// Consumes no simulated time.
     fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind);
-}
-
-/// Size in bytes of a data-bearing message.
-pub(crate) fn data_bytes(header: u32, line_shift: u32) -> u32 {
-    header + (1u32 << line_shift)
 }

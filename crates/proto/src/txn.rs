@@ -1,0 +1,178 @@
+//! The shared transaction-walk builder.
+//!
+//! A memory transaction is a *walk*: cache probe → AM tag check → network
+//! request → handler dispatch → DRAM access → line fill, with the
+//! protocol's state machine deciding which steps run. [`Txn`] threads a
+//! completion frontier through those steps and attributes every cycle of
+//! the walk to exactly one latency component ([`pimdsm_obs::breakdown`]),
+//! so the per-component breakdown sums to the transaction's total latency
+//! *by construction*. [`Txn::finish`] then emits the walk's trace span and
+//! records [`ProtoStats`](crate::ProtoStats) in one place for all three
+//! protocols.
+//!
+//! The contended resources themselves (links, controllers, DRAM ports)
+//! are booked by the steps' underlying [`Fabric`] and store calls in
+//! walk order; `Txn` never reorders a booking, it only accounts for the
+//! result.
+
+use pimdsm_engine::{Cycle, ServerGrant};
+use pimdsm_mem::Line;
+use pimdsm_obs::breakdown::{CACHE, DRAM, HANDLER, NETWORK, QUEUE};
+use pimdsm_obs::trace::track;
+
+use crate::common::{Access, Level, NodeId};
+use crate::fabric::Fabric;
+
+/// Whether a transaction is a read or a write/upgrade — decides the span
+/// category and whether [`Txn::finish`] records read statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// A read; `finish` records it under the satisfying level.
+    Read,
+    /// A write or ownership upgrade; only timing is accounted.
+    Write,
+}
+
+/// One in-flight transaction walk: a monotone completion frontier plus
+/// the per-component attribution of every cycle since issue.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    node: NodeId,
+    line: Line,
+    start: Cycle,
+    t: Cycle,
+    comps: [Cycle; 5],
+}
+
+impl Txn {
+    /// Opens a walk for `node` on `line` at cycle `now`.
+    pub fn start(node: NodeId, line: Line, now: Cycle) -> Self {
+        Txn {
+            node,
+            line,
+            start: now,
+            t: now,
+            comps: [0; 5],
+        }
+    }
+
+    /// The walk's current completion frontier.
+    pub fn at(&self) -> Cycle {
+        self.t
+    }
+
+    /// Advances the frontier to `at`, attributing the added cycles to
+    /// component `comp`. A target at or before the frontier (an overlapped
+    /// step) adds nothing.
+    pub fn to(&mut self, comp: usize, at: Cycle) -> Cycle {
+        if at > self.t {
+            self.comps[comp] += at - self.t;
+            self.t = at;
+        }
+        self.t
+    }
+
+    /// A cache/tag probe taking `cycles`.
+    pub fn probe(&mut self, cycles: Cycle) -> Cycle {
+        let t = self.t + cycles;
+        self.to(CACHE, t)
+    }
+
+    /// Sends `bytes` from `from` to `to` at the current frontier, booking
+    /// links; link queueing is attributed to the queue component, the rest
+    /// of the flight time to the network component.
+    pub fn send(&mut self, fab: &mut Fabric, from: NodeId, to: NodeId, bytes: u32) -> Cycle {
+        let q0 = fab.net.stats().total_queueing;
+        let at = self.t;
+        let arrive = fab.net.send(from, to, bytes, at);
+        let queued = fab.net.stats().total_queueing - q0;
+        self.to(QUEUE, (at + queued).min(arrive));
+        self.to(NETWORK, arrive)
+    }
+
+    /// Accounts a dispatched handler: queueing until the grant's start,
+    /// then handler latency until its reply.
+    pub fn handler(&mut self, g: ServerGrant) -> Cycle {
+        self.to(QUEUE, g.start);
+        self.to(HANDLER, g.reply_at)
+    }
+
+    /// Accounts only the queueing of a dispatched handler whose latency is
+    /// overlapped with a memory access (the walk continues from the
+    /// grant's start).
+    pub fn handler_start(&mut self, g: ServerGrant) -> Cycle {
+        self.to(QUEUE, g.start)
+    }
+
+    /// Accounts a DRAM access completing at `m`.
+    pub fn dram(&mut self, m: Cycle) -> Cycle {
+        self.to(DRAM, m)
+    }
+
+    /// A disk round trip for a paged-out or spilled line.
+    pub fn disk(&mut self, fab: &Fabric) -> Cycle {
+        let t = self.t + fab.lat.disk;
+        self.to(DRAM, t)
+    }
+
+    /// The line-fill overhead at the requestor.
+    pub fn fill(&mut self, fab: &Fabric) -> Cycle {
+        let t = self.t + fab.lat.fill;
+        self.to(CACHE, t)
+    }
+
+    /// Closes the walk: optionally emits the read/write span, records read
+    /// statistics and the component breakdown, and returns the [`Access`].
+    pub fn finish(self, fab: &mut Fabric, level: Level, kind: TxnKind, span: bool) -> Access {
+        let total = self.t - self.start;
+        debug_assert_eq!(
+            self.comps.iter().sum::<Cycle>(),
+            total,
+            "breakdown must sum to the walk's total latency"
+        );
+        if span {
+            let (name, cat) = match kind {
+                TxnKind::Read => ("read.remote", "proto.read"),
+                TxnKind::Write => ("write.remote", "proto.write"),
+            };
+            fab.tracer.span(
+                track::PROTO,
+                self.node as u32,
+                name,
+                cat,
+                self.start,
+                total.max(1),
+                &[("line", self.line), ("level", level.index() as u64)],
+            );
+        }
+        if kind == TxnKind::Read {
+            fab.stats.record_read(level, total);
+            fab.stats.record_read_breakdown(level, &self.comps);
+        }
+        Access {
+            done_at: self.t,
+            level,
+            breakdown: self.comps,
+        }
+    }
+}
+
+/// The private-cache fast path: a hit at `level` costing that level's
+/// configured latency, recorded (for reads) without a trace span.
+pub fn cache_hit(fab: &mut Fabric, level: Level, now: Cycle, record: bool) -> Access {
+    let lat = match level {
+        Level::L1 => fab.lat.l1,
+        _ => fab.lat.l2,
+    };
+    let mut comps = [0; 5];
+    comps[CACHE] = lat;
+    if record {
+        fab.stats.record_read(level, lat);
+        fab.stats.record_read_breakdown(level, &comps);
+    }
+    Access {
+        done_at: now + lat,
+        level,
+        breakdown: comps,
+    }
+}

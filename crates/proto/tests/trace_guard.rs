@@ -1,0 +1,270 @@
+//! Timing-identity guard: a tiny AGG run must produce this exact event
+//! sequence (names, categories, timestamps, durations, args). Any change
+//! to booking order or cycle arithmetic in the protocol walks shows up
+//! here first — before it silently shifts a Figure 6 bar.
+
+use pimdsm_obs::{TraceEvent, Tracer};
+use pimdsm_proto::{AggCfg, AggSystem, MemSystem};
+
+fn arg(e: &TraceEvent, key: &str) -> u64 {
+    e.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .unwrap_or_else(|| panic!("event {:?} missing arg {key}", e.name))
+        .1
+}
+
+#[test]
+fn tiny_run_produces_exact_event_sequence() {
+    let mut s = AggSystem::new(AggCfg::paper(2, 1, 8, 32, 256, 1024));
+    let tracer = Tracer::enabled();
+    s.attach_tracer(tracer.clone());
+
+    let (p0, p1) = (0, 2);
+    s.read(p0, 0x1000, 0);
+    s.read(p1, 0x1000, 1_000);
+    s.write(p1, 0x1000, 2_000);
+
+    type Expected = (
+        u64,
+        u64,
+        &'static str,
+        &'static str,
+        u64,
+        Option<u64>,
+        &'static [(&'static str, u64)],
+    );
+    let events = tracer.events_sorted();
+    let expect: &[Expected] = &[
+        (
+            0,
+            0,
+            "read.remote",
+            "proto.read",
+            0,
+            Some(179),
+            &[("line", 64), ("level", 3)],
+        ),
+        (0, 0, "miss", "am.miss", 12, None, &[("line", 64)]),
+        (
+            0,
+            1,
+            "Read",
+            "proto.handler",
+            49,
+            Some(80),
+            &[("invals", 0), ("queued", 0)],
+        ),
+        (
+            0,
+            1,
+            "Read",
+            "proto.handler",
+            1049,
+            Some(80),
+            &[("invals", 0), ("queued", 0)],
+        ),
+        (
+            0,
+            1,
+            "ReadEx",
+            "proto.handler",
+            2049,
+            Some(90),
+            &[("invals", 1), ("queued", 0)],
+        ),
+        (
+            0,
+            2,
+            "read.remote",
+            "proto.read",
+            1000,
+            Some(162),
+            &[("line", 64), ("level", 3)],
+        ),
+        (0, 2, "miss", "am.miss", 1012, None, &[("line", 64)]),
+        (
+            0,
+            2,
+            "write.remote",
+            "proto.write",
+            2000,
+            Some(195),
+            &[("line", 64), ("level", 3)],
+        ),
+        (
+            1,
+            0,
+            "xfer",
+            "net.link",
+            22,
+            Some(8),
+            &[("from", 0), ("to", 1), ("bytes", 16)],
+        ),
+        (
+            1,
+            0,
+            "xfer",
+            "net.link",
+            2147,
+            Some(8),
+            &[("from", 0), ("to", 2), ("bytes", 16)],
+        ),
+        (
+            1,
+            4,
+            "xfer",
+            "net.link",
+            1099,
+            Some(40),
+            &[("from", 1), ("to", 2), ("bytes", 80)],
+        ),
+        (
+            1,
+            4,
+            "xfer",
+            "net.link",
+            2156,
+            Some(8),
+            &[("from", 0), ("to", 2), ("bytes", 16)],
+        ),
+        (
+            1,
+            4,
+            "xfer",
+            "net.link",
+            2164,
+            Some(8),
+            &[("from", 1), ("to", 2), ("bytes", 16)],
+        ),
+        (
+            1,
+            5,
+            "xfer",
+            "net.link",
+            116,
+            Some(40),
+            &[("from", 1), ("to", 0), ("bytes", 80)],
+        ),
+        (
+            1,
+            5,
+            "xfer",
+            "net.link",
+            2104,
+            Some(8),
+            &[("from", 1), ("to", 0), ("bytes", 16)],
+        ),
+        (
+            1,
+            9,
+            "xfer",
+            "net.link",
+            1022,
+            Some(8),
+            &[("from", 2), ("to", 1), ("bytes", 16)],
+        ),
+        (
+            1,
+            9,
+            "xfer",
+            "net.link",
+            2022,
+            Some(8),
+            &[("from", 2), ("to", 1), ("bytes", 16)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            49,
+            None,
+            &[("from", 0), ("to", 1), ("bytes", 16)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            175,
+            None,
+            &[("from", 1), ("to", 0), ("bytes", 80)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            1049,
+            None,
+            &[("from", 2), ("to", 1), ("bytes", 16)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            1158,
+            None,
+            &[("from", 1), ("to", 2), ("bytes", 80)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            2049,
+            None,
+            &[("from", 2), ("to", 1), ("bytes", 16)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            2131,
+            None,
+            &[("from", 1), ("to", 0), ("bytes", 16)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            2183,
+            None,
+            &[("from", 0), ("to", 2), ("bytes", 16)],
+        ),
+        (
+            1,
+            12,
+            "deliver",
+            "net.msg",
+            2191,
+            None,
+            &[("from", 1), ("to", 2), ("bytes", 16)],
+        ),
+    ];
+
+    assert_eq!(
+        events.len(),
+        expect.len(),
+        "event count changed:\n{:#?}",
+        events
+            .iter()
+            .map(|e| (e.pid, e.tid, e.name, e.cat, e.ts, e.dur))
+            .collect::<Vec<_>>()
+    );
+    for (i, (e, x)) in events.iter().zip(expect).enumerate() {
+        let (pid, tid, name, cat, ts, dur, args) = *x;
+        assert_eq!(
+            (e.pid as u64, e.tid as u64, e.name, e.cat, e.ts, e.dur),
+            (pid, tid, name, cat, ts, dur),
+            "event {i} mismatch: got {e:?}"
+        );
+        for &(k, v) in args {
+            assert_eq!(arg(e, k), v, "event {i} ({name}) arg {k}");
+        }
+    }
+}

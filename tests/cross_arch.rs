@@ -1,7 +1,12 @@
 //! Cross-architecture integration matrix: every application completes on
-//! every machine organization, with sane statistics.
+//! every machine organization, with sane statistics — plus a randomized
+//! property test driving identical access traces through all three
+//! memory systems under the coherence oracle.
+
+use proptest::prelude::*;
 
 use pimdsm::{ArchSpec, Machine, RunReport};
+use pimdsm_proto::{AggCfg, AggSystem, ComaCfg, ComaSystem, MemSystem, NumaCfg, NumaSystem};
 use pimdsm_workloads::{build, Scale, ALL_APPS};
 
 fn run(spec: ArchSpec, app: pimdsm_workloads::AppId, threads: usize, pressure: f64) -> RunReport {
@@ -86,5 +91,71 @@ fn agg_invariants_hold_after_full_runs() {
         let mut m = Machine::build(ArchSpec::Agg { n_d: 3 }, w, 0.75);
         m.run();
         m.agg().check_invariants();
+        m.check_coherence();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    node: usize,
+    line: u64,
+    write: bool,
+}
+
+fn accesses(nodes: usize, lines: u64) -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0..nodes, 0u64..lines, any::<bool>()).prop_map(|(node, line, write)| Access {
+            node,
+            line,
+            write,
+        }),
+        1..250,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same interleaved trace, replayed on all three architectures:
+    /// every access completes no earlier than it issued, its component
+    /// breakdown sums exactly to its latency, and the full-sweep
+    /// coherence oracle is clean afterwards. (With the
+    /// `pimdsm-proto/coherence-oracle` feature on, the per-transaction
+    /// oracle additionally fires after every single access.)
+    #[test]
+    fn identical_traces_hold_invariants_on_all_architectures(ops in accesses(4, 96)) {
+        let mut systems: Vec<Box<dyn MemSystem>> = vec![
+            Box::new(NumaSystem::new(NumaCfg::paper(4, 8, 32, 4096))),
+            Box::new(ComaSystem::new(ComaCfg::paper(4, 8, 32, 4096))),
+            Box::new(AggSystem::new(AggCfg::paper(4, 2, 8, 32, 2048, 4096))),
+        ];
+        for sys in &mut systems {
+            let compute = sys.compute_nodes();
+            let mut t = 0u64;
+            for &Access { node, line, write } in &ops {
+                t += 400;
+                let addr = line * 64;
+                let a = if write {
+                    sys.write(compute[node], addr, t)
+                } else {
+                    sys.read(compute[node], addr, t)
+                };
+                prop_assert!(
+                    a.done_at >= t,
+                    "{}: completion {} before issue {t}",
+                    sys.name(),
+                    a.done_at
+                );
+                prop_assert_eq!(
+                    a.breakdown.iter().sum::<u64>(),
+                    a.done_at - t,
+                    "{}: breakdown must sum to the access latency",
+                    sys.name()
+                );
+            }
+            sys.check_coherence();
+            let total: u64 = sys.stats().reads_by_level.iter().sum();
+            prop_assert_eq!(total, sys.stats().total_reads());
+        }
     }
 }
