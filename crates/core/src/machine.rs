@@ -12,7 +12,7 @@
 //! latencies up to the L2 hit time are hidden by the out-of-order core
 //! (charged as Processor time), anything longer is Memory stall time.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use pimdsm_engine::{Cycle, EventQueue};
 use pimdsm_obs::{trace::track, EpochSampler, Tracer};
@@ -119,8 +119,8 @@ pub struct Machine {
     workload: Box<dyn Workload>,
     threads: Vec<ThreadState>,
     queue: EventQueue<usize>,
-    barriers: HashMap<u32, BarrierState>,
-    locks: HashMap<u32, LockState>,
+    barriers: BTreeMap<u32, BarrierState>,
+    locks: BTreeMap<u32, LockState>,
     lock_base: u64,
     reconfig: Option<ReconfigPlan>,
     reconfig_cycles: Cycle,
@@ -254,8 +254,8 @@ impl Machine {
             workload,
             threads,
             queue: EventQueue::new(),
-            barriers: HashMap::new(),
-            locks: HashMap::new(),
+            barriers: BTreeMap::new(),
+            locks: BTreeMap::new(),
             lock_base,
             reconfig: None,
             reconfig_cycles: 0,

@@ -40,7 +40,7 @@ const BUCKET_CYCLES: Cycle = 1 << BUCKET_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timeline {
-    used: std::collections::HashMap<Cycle, Cycle>,
+    used: std::collections::BTreeMap<Cycle, Cycle>,
     max_finish: Cycle,
     busy: Cycle,
     uses: u64,

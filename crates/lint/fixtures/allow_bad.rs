@@ -1,0 +1,9 @@
+//! Known-bad: escape hatches without a justification (L000), which do
+//! not suppress the underlying finding either.
+
+use std::collections::HashMap; // pimdsm-lint: allow(D001)
+
+pub fn table() -> HashMap<u64, u64> {
+    // pimdsm-lint: allow(D001, "")
+    HashMap::new()
+}

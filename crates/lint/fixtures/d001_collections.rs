@@ -1,0 +1,24 @@
+//! Known-bad: unordered collections on the simulation path (D001).
+//! Scanned by the fixture tests *as if* this file were `crates/mem/src/`.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Directory {
+    homes: HashMap<u64, usize>,
+    sharers: HashSet<usize>,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Directory {
+            homes: HashMap::new(),
+            sharers: HashSet::new(),
+        }
+    }
+
+    /// Iterating this map is exactly the fig10a bug: per-process hash
+    /// seeds reorder the sweep and the reorder leaks into booked cycles.
+    pub fn sweep(&self) -> usize {
+        self.homes.iter().map(|(_, &n)| n).sum()
+    }
+}

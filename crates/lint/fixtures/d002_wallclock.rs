@@ -1,0 +1,14 @@
+//! Known-bad: wall-clock time and ambient randomness in sim code (D002).
+
+use std::time::{Instant, SystemTime};
+
+pub fn decide_timeout() -> u64 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn random_victim(n: usize) -> usize {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..n)
+}

@@ -1,0 +1,11 @@
+//! Known-bad: trace events outside the obs registry (O001).
+
+use pimdsm_obs::trace::track;
+use pimdsm_obs::Tracer;
+
+pub fn emit(tracer: &Tracer, node: u32, at: u64) {
+    // Typo'd category: every `proto.handler` filter silently misses it.
+    tracer.span(track::PROTO, node, "Read", "proto.hanlder", at, 5, &[]);
+    // Unregistered event name.
+    tracer.instant(track::PROTO, node, "mystery", "am.miss", at, &[]);
+}

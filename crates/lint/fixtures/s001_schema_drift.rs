@@ -1,0 +1,40 @@
+//! Known-bad: a report field missing from the JSON round-trip (S001).
+//!
+//! `dropped_on_restore` is serialized but never restored, and
+//! `never_written` is restored from a default but never serialized — both
+//! sides of the silent-drop-on-cache-re-render class.
+
+#[derive(Default)]
+pub struct FixtureStats {
+    pub messages: u64,
+    pub dropped_on_restore: u64,
+    pub never_written: u64,
+}
+
+impl FixtureStats {
+    pub fn from_json(v: &pimdsm_obs::JsonValue) -> Result<FixtureStats, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        // `dropped_on_restore` is not restored — a cached re-render
+        // would silently zero it. The `..Default::default()` hides the
+        // omission from the compiler, which is why S001 exists.
+        Ok(FixtureStats {
+            messages: field("messages")?,
+            never_written: field("never_written").unwrap_or(0),
+            ..Default::default()
+        })
+    }
+}
+
+impl pimdsm_obs::ToJson for FixtureStats {
+    fn to_json(&self) -> pimdsm_obs::JsonValue {
+        use pimdsm_obs::JsonValue;
+        JsonValue::obj([
+            ("messages", JsonValue::u64(self.messages)),
+            ("dropped_on_restore", JsonValue::u64(self.dropped_on_restore)),
+        ])
+    }
+}

@@ -1,0 +1,23 @@
+//! Known-bad: transaction walks that never reach `.finish(...)` (T001).
+
+use crate::fabric::Fabric;
+use crate::txn::{Txn, TxnKind};
+
+/// Constructs a walk and silently drops it: no span, no stats, and the
+/// breakdown-sums-to-total assertion in `finish` never runs.
+pub fn read_forgot_finish(fab: &mut Fabric, node: usize, line: u64, now: u64) -> u64 {
+    let mut tx = Txn::start(node, line, now);
+    tx.probe(3);
+    tx.send(fab, node, 1, 16);
+    tx.at()
+}
+
+/// Calls finish on the main path but leaks the walk on an early return.
+pub fn read_early_return(fab: &mut Fabric, node: usize, line: u64, now: u64) -> u64 {
+    let mut tx = Txn::start(node, line, now);
+    tx.probe(3);
+    if line == 0 {
+        return now; // the in-flight walk is dropped here
+    }
+    tx.finish(fab, Level::LocalMem, TxnKind::Read, false).done_at
+}

@@ -1,0 +1,490 @@
+//! The rule set.
+//!
+//! Every rule has a stable ID, emits `file:line` diagnostics, and honors
+//! the `// pimdsm-lint: allow(<rule>, "<reason>")` escape hatch (applied
+//! by the driver in [`crate::run_all`], not here).
+
+use std::collections::BTreeSet;
+
+use crate::scan::{find_keyword, is_ident_char, match_paren, split_args, FnSpan, SourceFile};
+use crate::{Diagnostic, FileEntry, Workspace, SIM_CRATES};
+
+/// Rule table: `(id, one-line description)` — the contract DESIGN.md
+/// documents and `pimdsm-lint --list` prints.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D001",
+        "no unordered collections (HashMap/HashSet) in simulation crates; use BTreeMap/BTreeSet/Vec",
+    ),
+    (
+        "D002",
+        "no wall-clock or ambient randomness (Instant::now, SystemTime, thread_rng, RandomState) outside lab/bench/test code",
+    ),
+    (
+        "T001",
+        "every function that constructs a Txn must reach .finish(...) on its return paths",
+    ),
+    (
+        "S001",
+        "every pub stats field must appear in both to_json and from_json of its struct",
+    ),
+    (
+        "O001",
+        "every trace event name/category emitted must be registered in pimdsm-obs (and vice versa)",
+    ),
+    (
+        "L000",
+        "pimdsm-lint directives themselves must be well-formed: allow(<RULE>, \"reason\")",
+    ),
+];
+
+/// Crates whose `src/` is simulation path: a nondeterministic collection
+/// here can leak into simulated time.
+fn is_sim(krate: &str) -> bool {
+    SIM_CRATES.contains(&krate)
+}
+
+/// Crates allowed to read wall clocks / entropy: orchestration and bench
+/// tooling, the analyzer itself, and the offline dependency shims.
+fn d002_exempt(krate: &str) -> bool {
+    matches!(
+        krate,
+        "lab" | "bench" | "lint" | "criterion-shim" | "proptest-shim"
+    )
+}
+
+/// D001 — unordered collections in simulation crates.
+pub fn d001(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in &ws.files {
+        if !is_sim(&entry.krate) || entry.is_test_code {
+            continue;
+        }
+        for pat in ["HashMap", "HashSet"] {
+            for off in find_keyword(&entry.file.masked, pat) {
+                if entry.file.in_test_region(off) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: "D001",
+                    rel: entry.file.rel.clone(),
+                    line: entry.file.line_of(off),
+                    msg: format!(
+                        "unordered `{pat}` in simulation crate `{}`: iteration order is per-process random and can leak into simulated time; use BTreeMap/BTreeSet/Vec",
+                        entry.krate
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// D002 — wall-clock time and ambient randomness outside tooling.
+pub fn d002(ws: &Workspace) -> Vec<Diagnostic> {
+    const PATTERNS: &[&str] = &[
+        "Instant::now",
+        "SystemTime",
+        "thread_rng",
+        "rand::random",
+        "RandomState",
+    ];
+    let mut out = Vec::new();
+    for entry in &ws.files {
+        if d002_exempt(&entry.krate) || entry.is_test_code {
+            continue;
+        }
+        for pat in PATTERNS {
+            for off in find_pattern(&entry.file.masked, pat) {
+                if entry.file.in_test_region(off) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: "D002",
+                    rel: entry.file.rel.clone(),
+                    line: entry.file.line_of(off),
+                    msg: format!(
+                        "`{pat}` in crate `{}`: wall-clock time and ambient randomness are nondeterministic; thread simulated cycles / pimdsm_engine::rng through instead",
+                        entry.krate
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// T001 — a constructed `Txn` must reach `.finish(...)`.
+///
+/// Source-level approximation of "on all return paths": the body must
+/// call `.finish(` at least once, and every `return` statement *after*
+/// the first construction must either call `.finish(` itself or move the
+/// transaction variable onward (a callee then owns finishing it). A
+/// dropped `Txn` silently loses the walk's span, statistics, and the
+/// breakdown-sums-to-total guarantee.
+pub fn t001(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in &ws.files {
+        if !is_sim(&entry.krate) || entry.is_test_code {
+            continue;
+        }
+        if !entry.file.masked.contains("Txn::start") {
+            continue;
+        }
+        for f in entry.file.fns() {
+            if entry.file.in_test_region(f.start) {
+                continue;
+            }
+            out.extend(check_txn_fn(entry, &f));
+        }
+    }
+    out
+}
+
+fn check_txn_fn(entry: &FileEntry, f: &FnSpan) -> Vec<Diagnostic> {
+    let body = &entry.file.masked[f.body_start..f.body_end];
+    let Some(first_start) = body.find("Txn::start") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    if !body.contains(".finish(") {
+        out.push(Diagnostic {
+            rule: "T001",
+            rel: entry.file.rel.clone(),
+            line: entry.file.line_of(f.body_start + first_start),
+            msg: format!(
+                "`{}` constructs a Txn but never calls .finish(...): the walk's trace span, read statistics and latency breakdown are silently dropped",
+                f.name
+            ),
+        });
+        return out;
+    }
+    // The variable bound to the first construction, if any:
+    // `let mut tx = Txn::start(...)`.
+    let txn_var = body[..first_start]
+        .rfind("let ")
+        .map(|l| &body[l + 4..first_start])
+        .filter(|binding| binding.contains('=') && !binding.contains(';'))
+        .map(|binding| {
+            binding
+                .trim_start()
+                .trim_start_matches("mut ")
+                .split('=')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_string()
+        })
+        .filter(|name| !name.is_empty() && name.bytes().all(is_ident_char));
+
+    for ret in find_keyword(body, "return") {
+        if ret < first_start {
+            continue;
+        }
+        let stmt_end = body[ret..].find(';').map_or(body.len(), |p| ret + p);
+        let stmt = &body[ret..stmt_end];
+        let finishes = stmt.contains(".finish(");
+        let moves_txn = txn_var
+            .as_deref()
+            .is_some_and(|v| !find_keyword(stmt, v).is_empty());
+        if !finishes && !moves_txn {
+            out.push(Diagnostic {
+                rule: "T001",
+                rel: entry.file.rel.clone(),
+                line: entry.file.line_of(f.body_start + ret),
+                msg: format!(
+                    "return path in `{}` after Txn::start neither calls .finish(...) nor moves the transaction: the in-flight walk is dropped unaccounted",
+                    f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// S001 — report-schema sync: every `pub` field of a struct that has both
+/// a `to_json` and a `from_json` in its defining file must be mentioned
+/// in *both* bodies (as the field identifier or the `"field"` JSON key).
+/// Catches the silently-dropped-on-cache-re-render class.
+pub fn s001(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in &ws.files {
+        if entry.is_test_code {
+            continue;
+        }
+        let file = &entry.file;
+        let structs = file.pub_structs();
+        if structs.is_empty() {
+            continue;
+        }
+        let impls = file.impls();
+        let fns = file.fns();
+        for st in &structs {
+            let body_of = |fn_name: &str| -> Option<(usize, usize)> {
+                fns.iter()
+                    .find(|f| {
+                        f.name == fn_name
+                            && impls.iter().any(|im| {
+                                im.ty == st.name
+                                    && f.start >= im.body_start
+                                    && f.body_end <= im.body_end
+                            })
+                    })
+                    .map(|f| (f.body_start, f.body_end))
+            };
+            let (Some(to), Some(from)) = (body_of("to_json"), body_of("from_json")) else {
+                continue;
+            };
+            for field in &st.pub_fields {
+                for (what, (bs, be)) in [("to_json", to), ("from_json", from)] {
+                    let mentioned = !find_keyword(&file.masked[bs..be], field).is_empty()
+                        || file
+                            .strings
+                            .iter()
+                            .any(|s| s.offset >= bs && s.offset < be && s.value == *field);
+                    if !mentioned {
+                        out.push(Diagnostic {
+                            rule: "S001",
+                            rel: file.rel.clone(),
+                            line: file.line_of(bs),
+                            msg: format!(
+                                "field `{}` of `{}` is not handled in {what}: it would be silently dropped on a report round-trip (cache re-render)",
+                                field, st.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// O001 — trace-event registry sync.
+///
+/// Every event name / category a simulation crate passes to
+/// `Tracer::span` / `Tracer::instant` must be registered in
+/// `pimdsm_obs::trace::registry` (where the consumers — trace filters,
+/// suite assertions, Perfetto queries — look them up), and every
+/// registered entry must actually be emitted somewhere. A typo'd
+/// category would otherwise vanish silently from every filter.
+pub fn o001(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some((categories, names)) = load_registry(ws) else {
+        out.push(Diagnostic {
+            rule: "O001",
+            rel: "crates/obs/src/trace.rs".into(),
+            line: 1,
+            msg: "trace registry (registry::CATEGORIES / registry::EVENT_NAMES) not found in pimdsm-obs"
+                .into(),
+        });
+        return out;
+    };
+
+    let mut emitted_cats: BTreeSet<String> = BTreeSet::new();
+    let mut emitted_names: BTreeSet<String> = BTreeSet::new();
+
+    for entry in &ws.files {
+        if !is_sim(&entry.krate) || entry.is_test_code {
+            continue;
+        }
+        let file = &entry.file;
+        let fns = file.fns();
+        for needle in [".span(", ".instant("] {
+            let mut search = 0usize;
+            while let Some(rel_off) = file.masked[search..].find(needle) {
+                let at = search + rel_off;
+                let open = at + needle.len() - 1;
+                search = open + 1;
+                if file.in_test_region(at) {
+                    continue;
+                }
+                let Some(close) = match_paren(&file.masked, open) else {
+                    continue;
+                };
+                let args = split_args(&file.masked[open + 1..close]);
+                // span(pid, tid, name, cat, ts, dur, args) /
+                // instant(pid, tid, name, cat, ts, args).
+                if args.len() < 4 {
+                    continue;
+                }
+                for (idx, registry, kind) in
+                    [(2usize, &names, "event name"), (3, &categories, "category")]
+                {
+                    let (arg_off, arg_text) = args[idx];
+                    let abs = open + 1 + arg_off;
+                    match literal_in(file, abs, abs + arg_text.len()) {
+                        Some(value) => {
+                            if registry.contains(&value) {
+                                if kind == "category" {
+                                    emitted_cats.insert(value);
+                                } else {
+                                    emitted_names.insert(value);
+                                }
+                            } else {
+                                out.push(Diagnostic {
+                                    rule: "O001",
+                                    rel: file.rel.clone(),
+                                    line: file.line_of(abs),
+                                    msg: format!(
+                                        "trace {kind} \"{value}\" is not registered in pimdsm_obs::trace::registry — it would silently escape every trace filter"
+                                    ),
+                                });
+                            }
+                        }
+                        None => {
+                            // Non-literal argument (e.g. a `match`-selected
+                            // category): fall back to checking every
+                            // dotted literal in the enclosing function.
+                            let span = fns
+                                .iter()
+                                .filter(|f| f.body_start <= at && at < f.body_end)
+                                .map(|f| (f.body_start, f.body_end))
+                                .next_back();
+                            if let Some((bs, be)) = span {
+                                for s in &file.strings {
+                                    if s.offset < bs || s.offset >= be || !is_dotted(&s.value) {
+                                        continue;
+                                    }
+                                    if categories.contains(&s.value) {
+                                        emitted_cats.insert(s.value.clone());
+                                    } else if names.contains(&s.value) {
+                                        emitted_names.insert(s.value.clone());
+                                    } else {
+                                        out.push(Diagnostic {
+                                            rule: "O001",
+                                            rel: file.rel.clone(),
+                                            line: file.line_of(s.offset),
+                                            msg: format!(
+                                                "trace literal \"{}\" near a non-literal {kind} argument is not registered in pimdsm_obs::trace::registry",
+                                                s.value
+                                            ),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Literals emitted anywhere in sim src count toward the converse
+        // check even when passed through helpers (e.g. handler_name).
+        for s in &file.strings {
+            if file.in_test_region(s.offset) {
+                continue;
+            }
+            if categories.contains(&s.value) {
+                emitted_cats.insert(s.value.clone());
+            }
+            if names.contains(&s.value) {
+                emitted_names.insert(s.value.clone());
+            }
+        }
+    }
+
+    for (registry, emitted, kind) in [
+        (&categories, &emitted_cats, "category"),
+        (&names, &emitted_names, "event name"),
+    ] {
+        for value in registry.iter() {
+            if !emitted.contains(value) {
+                out.push(Diagnostic {
+                    rule: "O001",
+                    rel: "crates/obs/src/trace.rs".into(),
+                    line: 1,
+                    msg: format!(
+                        "registered trace {kind} \"{value}\" is never emitted by any simulation crate (stale registry entry)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// L000 — malformed `pimdsm-lint:` directives anywhere in the workspace.
+pub fn l000(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in &ws.files {
+        for bad in &entry.file.bad_allows {
+            out.push(Diagnostic {
+                rule: "L000",
+                rel: entry.file.rel.clone(),
+                line: bad.line,
+                msg: "malformed pimdsm-lint directive: expected `pimdsm-lint: allow(<RULE>, \"non-empty reason\")`"
+                    .into(),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts `registry::CATEGORIES` and `registry::EVENT_NAMES` from the
+/// obs trace module.
+fn load_registry(ws: &Workspace) -> Option<(BTreeSet<String>, BTreeSet<String>)> {
+    let file = ws
+        .files
+        .iter()
+        .map(|e| &e.file)
+        .find(|f| f.rel.ends_with("obs/src/trace.rs"))?;
+    let grab = |marker: &str| -> Option<BTreeSet<String>> {
+        let at = file.masked.find(marker)?;
+        // Skip past the `=` so the `[` of the `&[&str]` type annotation
+        // is not mistaken for the array itself.
+        let eq = at + file.masked[at..].find('=')?;
+        let open = eq + file.masked[eq..].find('[')?;
+        let close = open + file.masked[open..].find(']')?;
+        Some(
+            file.strings
+                .iter()
+                .filter(|s| s.offset > open && s.offset < close)
+                .map(|s| s.value.clone())
+                .collect(),
+        )
+    };
+    Some((
+        grab("pub const CATEGORIES")?,
+        grab("pub const EVENT_NAMES")?,
+    ))
+}
+
+/// `proto.handler`-shaped: at least one dot separating identifier chunks.
+fn is_dotted(s: &str) -> bool {
+    !s.is_empty()
+        && s.contains('.')
+        && s.split('.')
+            .all(|part| !part.is_empty() && part.bytes().all(is_ident_char))
+}
+
+/// The string literal spanning exactly the (trimmed) argument text, if
+/// the argument is a plain literal.
+fn literal_in(file: &SourceFile, start: usize, end: usize) -> Option<String> {
+    let trimmed = file.masked[start..end].trim();
+    if !trimmed.starts_with('"') {
+        return None;
+    }
+    file.strings
+        .iter()
+        .find(|s| s.offset >= start && s.offset < end)
+        .map(|s| s.value.clone())
+}
+
+/// Like [`find_keyword`] but for multi-token patterns such as
+/// `Instant::now` — boundaries are checked only at the pattern's ends.
+fn find_pattern(text: &str, pat: &str) -> Vec<usize> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0usize;
+    while let Some(rel) = text[search..].find(pat) {
+        let at = search + rel;
+        let before_ok = at == 0 || !is_ident_char(b[at - 1]);
+        let after = at + pat.len();
+        let after_ok = after >= b.len() || !is_ident_char(b[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        search = at + pat.len();
+    }
+    out
+}

@@ -1,0 +1,184 @@
+//! The fixture corpus: every rule must fire on its known-bad snippet
+//! with the right rule ID and span, the allow escape hatch must work,
+//! and the real workspace must self-scan clean.
+
+use std::path::{Path, PathBuf};
+
+use pimdsm_lint::{run_all, Diagnostic, Workspace};
+
+/// Repo root (two levels above this crate's manifest).
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Scans the real workspace plus one fixture file classified as `krate`
+/// `src/` code, returning only the diagnostics from the fixture.
+fn scan_fixture(name: &str, krate: &str) -> Vec<Diagnostic> {
+    let root = root();
+    let mut ws = Workspace::load(&root).expect("scan workspace");
+    let path = fixture_path(name);
+    let rel = format!("crates/{krate}/src/{name}");
+    let raw = std::fs::read_to_string(&path).expect("read fixture");
+    ws.add_source_as(path, rel.clone(), raw, krate);
+    run_all(&ws).into_iter().filter(|d| d.rel == rel).collect()
+}
+
+/// Line (1-indexed) of the first occurrence of `needle` in the fixture.
+fn line_of(name: &str, needle: &str) -> usize {
+    let text = std::fs::read_to_string(fixture_path(name)).unwrap();
+    let off = text.find(needle).expect("needle present in fixture");
+    text[..off].matches('\n').count() + 1
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    let ws = Workspace::load(&root()).expect("scan workspace");
+    assert!(ws.files.len() > 50, "workspace walk found the sources");
+    let diags = run_all(&ws);
+    assert!(
+        diags.is_empty(),
+        "workspace must have zero unsuppressed violations:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn d001_fires_on_unordered_collections() {
+    let diags = scan_fixture("d001_collections.rs", "mem");
+    assert!(diags.iter().all(|d| d.rule == "D001"), "{diags:?}");
+    // Import line, two field declarations, two constructors.
+    assert!(diags.len() >= 5, "one finding per use: {diags:?}");
+    let import = line_of("d001_collections.rs", "use std::collections");
+    assert!(
+        diags.iter().any(|d| d.line == import),
+        "span points at the import: {diags:?}"
+    );
+    assert!(diags[0].msg.contains("BTreeMap"), "suggests the fix");
+}
+
+#[test]
+fn d001_does_not_fire_outside_simulation_crates() {
+    let diags = scan_fixture("d001_collections.rs", "lab");
+    assert!(
+        diags.iter().all(|d| d.rule != "D001"),
+        "lab is orchestration, not sim path: {diags:?}"
+    );
+}
+
+#[test]
+fn d002_fires_on_wall_clock_and_randomness() {
+    let diags = scan_fixture("d002_wallclock.rs", "engine");
+    let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+    assert!(rules.iter().all(|r| *r == "D002"), "{diags:?}");
+    for needle in ["Instant::now", "SystemTime", "thread_rng"] {
+        assert!(
+            diags.iter().any(|d| d.msg.contains(needle)),
+            "missing {needle}: {diags:?}"
+        );
+    }
+    let now_line = line_of("d002_wallclock.rs", "Instant::now()");
+    assert!(diags.iter().any(|d| d.line == now_line));
+}
+
+#[test]
+fn t001_fires_on_unfinished_txn_walks() {
+    let diags = scan_fixture("t001_txn_leak.rs", "proto");
+    assert!(diags.iter().all(|d| d.rule == "T001"), "{diags:?}");
+    assert_eq!(diags.len(), 2, "one per leak: {diags:?}");
+    assert_eq!(
+        diags[0].line,
+        line_of("t001_txn_leak.rs", "let mut tx = Txn::start"),
+        "never-finished walk reported at its construction"
+    );
+    assert_eq!(
+        diags[1].line,
+        line_of("t001_txn_leak.rs", "return now;"),
+        "early return reported at the return"
+    );
+}
+
+#[test]
+fn s001_fires_on_schema_drift() {
+    let diags = scan_fixture("s001_schema_drift.rs", "core");
+    assert!(diags.iter().all(|d| d.rule == "S001"), "{diags:?}");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags
+        .iter()
+        .any(|d| d.msg.contains("`dropped_on_restore`") && d.msg.contains("from_json")));
+    assert!(diags
+        .iter()
+        .any(|d| d.msg.contains("`never_written`") && d.msg.contains("to_json")));
+}
+
+#[test]
+fn o001_fires_on_unregistered_trace_vocabulary() {
+    let diags = scan_fixture("o001_unknown_category.rs", "proto");
+    assert!(diags.iter().all(|d| d.rule == "O001"), "{diags:?}");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().any(|d| d.msg.contains("proto.hanlder")));
+    assert!(diags.iter().any(|d| d.msg.contains("mystery")));
+    let typo_line = line_of("o001_unknown_category.rs", "proto.hanlder");
+    assert!(diags.iter().any(|d| d.line == typo_line));
+}
+
+#[test]
+fn allow_escape_hatch_suppresses_with_reason() {
+    let diags = scan_fixture("allow_ok.rs", "mem");
+    assert!(
+        diags.is_empty(),
+        "justified allows suppress every finding: {diags:?}"
+    );
+}
+
+#[test]
+fn reasonless_allow_is_flagged_and_does_not_suppress() {
+    let diags = scan_fixture("allow_bad.rs", "mem");
+    assert!(
+        diags.iter().any(|d| d.rule == "L000"),
+        "malformed directive reported: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "D001"),
+        "the underlying finding still fires: {diags:?}"
+    );
+}
+
+#[test]
+fn cli_exits_zero_on_clean_workspace_and_lists_rules() {
+    let bin = env!("CARGO_BIN_EXE_pimdsm-lint");
+    let out = std::process::Command::new(bin)
+        .args(["--root"])
+        .arg(root())
+        .output()
+        .expect("run pimdsm-lint");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    let list = std::process::Command::new(bin)
+        .arg("--list")
+        .output()
+        .expect("run pimdsm-lint --list");
+    let text = String::from_utf8_lossy(&list.stdout);
+    for id in ["D001", "D002", "T001", "S001", "O001"] {
+        assert!(text.contains(id), "--list names {id}");
+    }
+}

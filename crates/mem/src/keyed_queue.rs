@@ -1,4 +1,4 @@
-//! An O(1) keyed doubly-linked queue.
+//! A keyed doubly-linked queue with cheap removal by key.
 //!
 //! Supports push-to-back, pop-from-front, arbitrary removal by key, and
 //! move-to-back — the operation mix needed both by the attraction memory's
@@ -7,8 +7,7 @@
 //! the tail, reclamation from the head, unlink when a line changes state;
 //! Section 2.2.2 of the paper).
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 const NIL: usize = usize::MAX;
 
@@ -19,7 +18,11 @@ struct Node<K> {
     next: usize,
 }
 
-/// A FIFO/LRU list with O(1) removal by key.
+/// A FIFO/LRU list with O(log n) removal by key.
+///
+/// The key index is a `BTreeMap` (determinism contract D001): the queue
+/// itself defines iteration order via its links, but keeping the index
+/// ordered too means no simulation structure depends on hash order.
 ///
 /// # Examples
 ///
@@ -39,18 +42,18 @@ struct Node<K> {
 pub struct KeyedQueue<K> {
     nodes: Vec<Node<K>>,
     free: Vec<usize>,
-    index: HashMap<K, usize>,
+    index: BTreeMap<K, usize>,
     head: usize,
     tail: usize,
 }
 
-impl<K: Eq + Hash + Copy> KeyedQueue<K> {
+impl<K: Ord + Copy> KeyedQueue<K> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         KeyedQueue {
             nodes: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             head: NIL,
             tail: NIL,
         }

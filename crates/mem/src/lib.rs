@@ -15,7 +15,7 @@
 //! - [`Dram`] — a bandwidth-limited memory device built on a
 //!   [`Timeline`](pimdsm_engine::Timeline).
 //! - [`PageTable`] — first-touch page placement with per-node capacity.
-//! - [`KeyedQueue`] — an O(1) keyed FIFO/LRU list, reused by the attraction
+//! - [`KeyedQueue`] — a keyed FIFO/LRU list, reused by the attraction
 //!   memory's on-chip LRU and by the AGG D-node's FreeList/SharedList.
 //!
 //! Addresses are plain `u64` byte addresses; [`line_of`] and [`page_of`]

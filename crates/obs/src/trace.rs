@@ -21,6 +21,67 @@ use std::rc::Rc;
 
 use pimdsm_engine::Cycle;
 
+/// The canonical registry of trace vocabulary.
+///
+/// Every `cat` and `name` the simulator passes to [`Tracer::span`] /
+/// [`Tracer::instant`] must be listed here — this is where consumers
+/// (suite assertions, trace filters, Perfetto queries) look events up, so
+/// an unregistered string is an event nothing can find. The
+/// `pimdsm-lint` rule **O001** enforces the registry in both directions:
+/// an emitted literal missing from the registry and a registered entry no
+/// simulation crate emits are both violations.
+pub mod registry {
+    /// Every event category (`cat` field), sorted.
+    pub const CATEGORIES: &[&str] = &[
+        "am.hit",
+        "am.inject",
+        "am.miss",
+        "am.pageout",
+        "am.swap",
+        "machine.barrier",
+        "machine.reconfig",
+        "net.link",
+        "net.local",
+        "net.msg",
+        "proto.disk",
+        "proto.handler",
+        "proto.read",
+        "proto.write",
+    ];
+
+    /// Every event name (`name` field), sorted.
+    pub const EVENT_NAMES: &[&str] = &[
+        "Ack",
+        "Hint",
+        "Read",
+        "ReadEx",
+        "WriteBack",
+        "barrier",
+        "deliver",
+        "fault",
+        "hit",
+        "inject",
+        "local",
+        "miss",
+        "pageout",
+        "read.remote",
+        "reconfig",
+        "swap",
+        "write.remote",
+        "xfer",
+    ];
+
+    /// Whether `cat` is a registered category.
+    pub fn is_known_category(cat: &str) -> bool {
+        CATEGORIES.binary_search(&cat).is_ok()
+    }
+
+    /// Whether `name` is a registered event name.
+    pub fn is_known_event_name(name: &str) -> bool {
+        EVENT_NAMES.binary_search(&name).is_ok()
+    }
+}
+
 /// Track-group ids (`pid` in the Chrome trace) per subsystem.
 pub mod track {
     /// Protocol handlers and attraction-memory events (tid = node id).
@@ -227,6 +288,17 @@ impl Tracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_lookup_works() {
+        for list in [registry::CATEGORIES, registry::EVENT_NAMES] {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        }
+        assert!(registry::is_known_category("proto.handler"));
+        assert!(!registry::is_known_category("proto.hanlder"));
+        assert!(registry::is_known_event_name("read.remote"));
+        assert!(!registry::is_known_event_name("nonsense"));
+    }
 
     #[test]
     fn disabled_tracer_records_nothing() {

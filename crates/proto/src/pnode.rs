@@ -187,7 +187,8 @@ impl PrivCaches {
     /// Drains both caches, returning every line with its strongest state
     /// (used when a node is reconfigured).
     pub fn drain_all(&mut self) -> Vec<(Line, CState)> {
-        let l1: std::collections::HashMap<Line, CState> = self.l1.drain_all().into_iter().collect();
+        let l1: std::collections::BTreeMap<Line, CState> =
+            self.l1.drain_all().into_iter().collect();
         self.l2
             .drain_all()
             .into_iter()

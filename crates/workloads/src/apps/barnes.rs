@@ -220,7 +220,7 @@ mod tests {
     fn tree_reads_are_skewed() {
         let w = Barnes::new(2, 512, 1);
         let ops = drain(&w, 0);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for op in &ops {
             if let Op::Gather(b) = op {
                 for &a in b.addrs() {

@@ -255,7 +255,7 @@ mod tests {
         let ops = drain(&w, 0);
         // Collect load bases in the scratch region read during transpose 2
         // — they must span all four partitions of scratch.
-        let mut partitions_touched = std::collections::HashSet::new();
+        let mut partitions_touched = std::collections::BTreeSet::new();
         for op in &ops {
             if let Op::LoadBatch { base, .. } = op {
                 if *base >= w.scratch.base() && *base < w.scratch.base() + w.scratch.bytes() {

@@ -87,6 +87,54 @@ fn run_dynamic_reconfig() -> (RunReport, Vec<pimdsm_obs::TraceEvent>) {
     (report, tracer.events_sorted())
 }
 
+/// Runs one lab suite point twice (fresh machine each time, tracer
+/// attached) and asserts the full report JSON and the exact trace-event
+/// sequence are byte-identical — the dynamic guard behind lint rule D001.
+fn assert_suite_point_deterministic(suite: &str, label_substr: &str) {
+    use pimdsm_lab::{find, SuiteCtx};
+    use pimdsm_obs::{ToJson, Tracer};
+
+    let ctx = SuiteCtx {
+        threads: 4,
+        scale: Scale::ci(),
+    };
+    let points = find(suite).expect("suite exists").points(&ctx);
+    let point = points
+        .iter()
+        .find(|p| p.label.contains(label_substr))
+        .unwrap_or_else(|| panic!("{suite} has a point labelled *{label_substr}*"));
+
+    let run = || {
+        let mut m = point.build_machine();
+        let tracer = Tracer::enabled();
+        m.attach_tracer(tracer.clone());
+        (m.run(), tracer.events_sorted())
+    };
+    let (ra, ea) = run();
+    let (rb, eb) = run();
+    let what = point.key();
+    assert_identical(&ra, &rb, &what);
+    assert_eq!(
+        ra.to_json().render_pretty(),
+        rb.to_json().render_pretty(),
+        "{what}: full report must be byte-identical"
+    );
+    assert_eq!(ea, eb, "{what}: exact event sequences must be equal");
+}
+
+/// An AGG point from the Figure 6 sweep stays bit-deterministic (the
+/// fig10a guard below only exercises the NUMA/reconfig path).
+#[test]
+fn agg_suite_point_is_bit_deterministic() {
+    assert_suite_point_deterministic("fig6", "1/2AGG75");
+}
+
+/// A COMA point from the Figure 6 sweep stays bit-deterministic.
+#[test]
+fn coma_suite_point_is_bit_deterministic() {
+    assert_suite_point_deterministic("fig6", "COMA75");
+}
+
 #[test]
 fn dynamic_reconfiguration_is_bit_deterministic() {
     use pimdsm_obs::ToJson;

@@ -73,7 +73,8 @@ fn agg_smoke_run_emits_schema_valid_chrome_trace() {
     assert!(events.len() > 100, "a real run produces many events");
 
     let mut subsystems = std::collections::BTreeSet::new();
-    let mut last_ts: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), u64> =
+        std::collections::BTreeMap::new();
     for e in events {
         let ph = e.get("ph").unwrap().as_str().unwrap();
         match ph {
