@@ -329,6 +329,16 @@ impl Machine {
             }
             self.step(tid, now);
         }
+        // Feed the host-side profiler: events drained and peak queue
+        // depth are deterministic observations, never simulation inputs.
+        pimdsm_prof::counters::add(
+            pimdsm_prof::counters::ENGINE_EVENTS,
+            self.queue.total_pops(),
+        );
+        pimdsm_prof::counters::observe_max(
+            pimdsm_prof::counters::ENGINE_QUEUE_PEAK,
+            self.queue.peak_len() as u64,
+        );
         let parked: Vec<usize> = self
             .threads
             .iter()

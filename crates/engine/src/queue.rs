@@ -28,6 +28,8 @@ use crate::Cycle;
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
+    pops: u64,
+    peak_len: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -61,6 +63,8 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            pops: 0,
+            peak_len: 0,
         }
     }
 
@@ -69,11 +73,16 @@ impl<T> EventQueue<T> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        let e = self.heap.pop();
+        if e.is_some() {
+            self.pops += 1;
+        }
+        e.map(|e| (e.time, e.payload))
     }
 
     /// Returns the time of the earliest event without removing it.
@@ -89,6 +98,17 @@ impl<T> EventQueue<T> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events popped over the queue's lifetime. Deterministic; the
+    /// driver feeds this to `pimdsm_prof` as the event-throughput count.
+    pub fn total_pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Deepest the queue has ever been. Deterministic per run.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -137,6 +157,24 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_and_depth_counters_track_lifetime_extremes() {
+        let mut q = EventQueue::new();
+        assert_eq!((q.total_pops(), q.peak_len()), (0, 0));
+        q.push(1, ());
+        q.push(2, ());
+        q.push(3, ());
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        q.push(4, ());
+        assert_eq!(q.peak_len(), 3, "peak is a lifetime maximum");
+        while q.pop().is_some() {}
+        assert_eq!(q.total_pops(), 4);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.total_pops(), 4, "popping empty does not count");
     }
 
     #[test]

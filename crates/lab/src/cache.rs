@@ -85,6 +85,7 @@ impl ResultCache {
     /// Looks up `spec`. Any defect — missing file, unparsable JSON,
     /// canonical/fingerprint mismatch, missing report field — is a miss.
     pub fn load(&self, spec: &PointSpec) -> Option<RunReport> {
+        pimdsm_prof::phase!("cache.load");
         let text = fs::read_to_string(self.entry_path(spec)).ok()?;
         let doc = json::parse(&text).ok()?;
         if doc.get("canonical")?.as_str()? != spec.canonical() {
@@ -100,6 +101,7 @@ impl ResultCache {
     /// use. Write errors are reported on stderr and otherwise ignored —
     /// a broken cache only costs re-simulation.
     pub fn store(&self, spec: &PointSpec, report: &RunReport) {
+        pimdsm_prof::phase!("cache.store");
         if let Err(e) = fs::create_dir_all(&self.dir) {
             eprintln!("[lab] cannot create cache dir {}: {e}", self.dir.display());
             return;

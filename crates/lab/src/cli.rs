@@ -22,6 +22,7 @@ use pimdsm::RunReport;
 use pimdsm_obs::{JsonValue, ToJson, Tracer};
 use pimdsm_workloads::Scale;
 
+use crate::bench;
 use crate::cache::ResultCache;
 use crate::exec::{run_sweep, Instrumentation, SweepResult};
 use crate::suites::{find, Suite, SuiteCtx, ALL_SUITES};
@@ -51,12 +52,47 @@ pub fn default_scale() -> Scale {
 #[derive(Debug, PartialEq)]
 enum Command {
     Run(Vec<String>),
+    Bench(Vec<String>),
     List,
     Clean,
 }
 
+/// Flags specific to `pimdsm-lab bench`.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchCmd {
+    /// Measured runs per suite (after the uncounted warm-up).
+    runs: usize,
+    /// Explicit output path (single suite only); default `BENCH_<suite>.json`.
+    out: Option<PathBuf>,
+    /// Suppress the document entirely.
+    no_out: bool,
+    /// Baseline document to compare against.
+    compare: Option<PathBuf>,
+    /// Pre-existing current document: compare it instead of running.
+    against: Option<PathBuf>,
+    /// Documents to schema-validate instead of running.
+    check: Vec<PathBuf>,
+    /// Regression threshold factor on median wall time.
+    threshold: f64,
+}
+
+impl Default for BenchCmd {
+    fn default() -> BenchCmd {
+        BenchCmd {
+            runs: 3,
+            out: None,
+            no_out: false,
+            compare: None,
+            against: None,
+            check: Vec::new(),
+            threshold: 1.5,
+        }
+    }
+}
+
 struct Options {
     command: Command,
+    bench: Option<BenchCmd>,
     jobs: usize,
     cache_dir: PathBuf,
     no_cache: bool,
@@ -73,8 +109,10 @@ struct Options {
 
 impl Options {
     fn defaults(command: Command) -> Options {
+        let bench = matches!(command, Command::Bench(_)).then(BenchCmd::default);
         Options {
             command,
+            bench,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_dir: DEFAULT_CACHE_DIR.into(),
             no_cache: false,
@@ -147,6 +185,37 @@ fn parse_flags(
                 )
             }
             "--quiet" | "-q" => opts.quiet = true,
+            // Bench-only flags: recognized only when a bench command set
+            // `opts.bench`; elsewhere they fall through to the unknown arms.
+            "--runs" if opts.bench.is_some() => {
+                opts.bench.as_mut().unwrap().runs = value("--runs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--runs: {e}"))?
+                    .max(1)
+            }
+            "--out" if opts.bench.is_some() => {
+                opts.bench.as_mut().unwrap().out = Some(value("--out")?.into())
+            }
+            "--no-out" if opts.bench.is_some() => opts.bench.as_mut().unwrap().no_out = true,
+            "--compare" if opts.bench.is_some() => {
+                opts.bench.as_mut().unwrap().compare = Some(value("--compare")?.into())
+            }
+            "--against" if opts.bench.is_some() => {
+                opts.bench.as_mut().unwrap().against = Some(value("--against")?.into())
+            }
+            "--check" if opts.bench.is_some() => {
+                let path = value("--check")?;
+                opts.bench.as_mut().unwrap().check.push(path.into())
+            }
+            "--threshold" if opts.bench.is_some() => {
+                let t = value("--threshold")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !(t.is_finite() && t >= 1.0) {
+                    return Err(format!("--threshold must be a factor >= 1.0, not {t}"));
+                }
+                opts.bench.as_mut().unwrap().threshold = t
+            }
             other if strict => return Err(format!("unknown argument {other:?}")),
             other => eprintln!("[lab] ignoring unknown argument {other:?}"),
         }
@@ -179,10 +248,24 @@ fn parse_lab_args(argv: impl Iterator<Item = String>) -> Result<Options, String>
             }
             Command::Run(names)
         }
+        Some("bench") => {
+            let mut names = Vec::new();
+            while let Some(a) = argv.peek() {
+                if a.starts_with('-') {
+                    break;
+                }
+                names.push(argv.next().unwrap());
+            }
+            Command::Bench(names)
+        }
         Some("list") => Command::List,
         Some("clean") => Command::Clean,
-        Some(other) => return Err(format!("unknown command {other:?} (run | list | clean)")),
-        None => return Err("usage: pimdsm-lab <run|list|clean> [flags]".into()),
+        Some(other) => {
+            return Err(format!(
+                "unknown command {other:?} (run | bench | list | clean)"
+            ))
+        }
+        None => return Err("usage: pimdsm-lab <run|bench|list|clean> [flags]".into()),
     };
     let mut opts = Options::defaults(command);
     parse_flags(argv, &mut opts, true)?;
@@ -195,12 +278,15 @@ pub fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("pimdsm-lab: {e}");
-            eprintln!("usage: pimdsm-lab <run|list|clean> [suites|--all] [flags]");
+            eprintln!("usage: pimdsm-lab <run|bench|list|clean> [suites|--all] [flags]");
             eprintln!(
                 "flags: --jobs N --cache-dir DIR --no-cache --threads N --scale full|bench|ci"
             );
             eprintln!("       --trace F --trace-only SUBSTR --metrics F --epoch N --report F");
             eprintln!("       --require-hit-rate PCT --quiet");
+            eprintln!(
+                "bench: --runs N --out F --no-out --compare BASE --against CUR --check F --threshold X"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -241,6 +327,7 @@ fn dispatch(opts: Options) -> ExitCode {
             ExitCode::SUCCESS
         }
         Command::Run(names) => run_suites(&names.clone(), &opts),
+        Command::Bench(names) => run_bench(&names.clone(), &opts),
     }
 }
 
@@ -293,7 +380,7 @@ fn run_suites(names: &[String], opts: &Options) -> ExitCode {
 
         if let Some(reports) = result.reports() {
             print!("{}", suite.render(&ctx, &reports));
-            write_report_doc(suite.name, opts.report_path.as_deref(), &reports);
+            write_report_doc(suite, &ctx, opts.report_path.as_deref(), &reports);
         } else {
             for o in &result.outcomes {
                 if let Err(e) = &o.report {
@@ -305,14 +392,27 @@ fn run_suites(names: &[String], opts: &Options) -> ExitCode {
         }
         if !opts.quiet {
             eprintln!(
-                "[lab] {}: {} points, {} cached, {} ran, {:.1}% hits, {:.2?}",
+                "[lab] {}: {} points, {} cached ({:.2?}), {} ran ({:.2?}), {:.1}% hits, {:.2?}",
                 suite.name,
                 n,
                 result.hits,
+                result.hit_wall,
                 result.misses,
+                result.cold_wall,
                 result.hit_rate() * 100.0,
                 result.wall
             );
+            if result.misses > 0 {
+                let totals = result.counter_totals();
+                let evs = totals.engine_events() as f64 / result.cold_wall.as_secs_f64().max(1e-9);
+                eprintln!(
+                    "[lab] {}: {} engine events ({evs:.0}/s cold), peak queue {}, {} txn walks",
+                    suite.name,
+                    totals.engine_events(),
+                    totals.engine_queue_peak(),
+                    totals.txn_walks()
+                );
+            }
         }
     }
     if !opts.quiet && suites.len() > 1 {
@@ -344,6 +444,167 @@ fn run_suites(names: &[String], opts: &Options) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn load_bench_doc(path: &Path) -> Result<bench::BenchDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    bench::validate_doc(&text)
+}
+
+fn report_compare(cur: &bench::BenchDoc, base: &bench::BenchDoc, threshold: f64) -> ExitCode {
+    match bench::compare(cur, base, threshold) {
+        bench::Compared::Ok(ratio) => {
+            eprintln!(
+                "[bench] {}: median {:.3} ms vs baseline {:.3} ms \
+                 ({ratio:.2}x, threshold {threshold:.2}x) — ok",
+                cur.suite, cur.wall_median_ms, base.wall_median_ms
+            );
+            ExitCode::SUCCESS
+        }
+        bench::Compared::Regression(ratio) => {
+            eprintln!(
+                "[bench] {}: REGRESSION: median {:.3} ms vs baseline {:.3} ms \
+                 ({ratio:.2}x exceeds threshold {threshold:.2}x)",
+                cur.suite, cur.wall_median_ms, base.wall_median_ms
+            );
+            ExitCode::FAILURE
+        }
+        bench::Compared::Incomparable(why) => {
+            eprintln!("[bench] documents are not comparable: {why}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_bench(names: &[String], opts: &Options) -> ExitCode {
+    let b = opts.bench.as_ref().expect("bench command implies options");
+
+    if !b.check.is_empty() {
+        let mut ok = true;
+        for path in &b.check {
+            match load_bench_doc(path) {
+                Ok(doc) => {
+                    eprintln!(
+                        "[bench] {}: valid {} document ({} runs of {:?}, median {:.3} ms)",
+                        path.display(),
+                        bench::BENCH_SCHEMA,
+                        doc.runs,
+                        doc.suite,
+                        doc.wall_median_ms
+                    );
+                    if !doc.stable {
+                        eprintln!(
+                            "[bench] {}: WARNING: deterministic fields varied across runs",
+                            path.display()
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("[bench] {}: INVALID: {e}", path.display());
+                    ok = false;
+                }
+            }
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if let Some(current) = &b.against {
+        let Some(baseline) = &b.compare else {
+            eprintln!("[bench] --against needs --compare <baseline.json>");
+            return ExitCode::FAILURE;
+        };
+        let cur = match load_bench_doc(current) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("[bench] {}: {e}", current.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match load_bench_doc(baseline) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("[bench] {}: {e}", baseline.display());
+                return ExitCode::from(2);
+            }
+        };
+        return report_compare(&cur, &base, b.threshold);
+    }
+
+    if names.is_empty() {
+        eprintln!("[bench] name at least one suite, or use --check/--against");
+        return ExitCode::FAILURE;
+    }
+    if names.len() > 1 && (b.out.is_some() || b.compare.is_some()) {
+        eprintln!("[bench] --out/--compare apply to a single suite; bench one at a time");
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = SuiteCtx {
+        threads: opts.threads,
+        scale: opts.scale,
+    };
+    for name in names {
+        let Some(suite) = find(name) else {
+            eprintln!("[bench] no suite named {name:?} (try `pimdsm-lab list`)");
+            return ExitCode::FAILURE;
+        };
+        let result = match bench::measure_suite(suite, &ctx, b.runs, opts.jobs, !opts.quiet) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[bench] {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let peak = result
+            .samples
+            .iter()
+            .map(|s| s.peak_bytes)
+            .max()
+            .unwrap_or(0);
+        eprintln!(
+            "[bench] {name}: median {:.2?} (min {:.2?}, max {:.2?}) over {} runs, \
+             {:.0} events/s, {} points, peak heap {} KiB",
+            result.wall_median(),
+            result.wall_min(),
+            result.wall_max(),
+            result.samples.len(),
+            result.events_per_sec(),
+            result.points,
+            peak / 1024
+        );
+        if !result.stable_across_runs() {
+            eprintln!(
+                "[bench] {name}: ERROR: deterministic counters or allocation \
+                 totals differed between runs — the simulator did different work"
+            );
+            return ExitCode::FAILURE;
+        }
+        let doc = result.to_json();
+        if !b.no_out {
+            let path = b
+                .out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("BENCH_{name}.json")));
+            write_json(&path, &doc, "bench document");
+        }
+        if let Some(baseline) = &b.compare {
+            let base = match load_bench_doc(baseline) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("[bench] {}: {e}", baseline.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let cur = bench::validate_doc(&doc.render_pretty())
+                .expect("freshly rendered bench document must validate");
+            return report_compare(&cur, &base, b.threshold);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn write_trace(path: &Path, result: &SweepResult) {
@@ -378,20 +639,33 @@ fn write_metrics(path: &Path, bin: &str, epoch: u64, result: &SweepResult) {
     write_json(path, &doc, "epoch metrics");
 }
 
-/// Writes the `{"bin", "runs"}` report document — to `--report`'s path
-/// when given, else to `results/<suite>.json` when a `results/` directory
-/// exists (the old binaries' convention, so regenerating text tables also
-/// refreshes the machine-readable results).
-fn write_report_doc(bin: &str, explicit: Option<&Path>, reports: &[&RunReport]) {
-    let default = explicit.is_none() && !reports.is_empty() && Path::new("results").is_dir();
+/// Writes the `{"bin", "runs"[, "data"]}` report document — to
+/// `--report`'s path when given, else to `results/<suite>.json` when a
+/// `results/` directory exists (the old binaries' convention, so
+/// regenerating text tables also refreshes the machine-readable results).
+/// Table suites have no runs; their payload is the suite's `data` block.
+fn write_report_doc(
+    suite: &Suite,
+    ctx: &SuiteCtx,
+    explicit: Option<&Path>,
+    reports: &[&RunReport],
+) {
+    let data = suite.data(ctx);
+    let default = explicit.is_none()
+        && (!reports.is_empty() || data.is_some())
+        && Path::new("results").is_dir();
     let path: Option<PathBuf> = explicit
         .map(Path::to_path_buf)
-        .or_else(|| default.then(|| format!("results/{bin}.json").into()));
+        .or_else(|| default.then(|| format!("results/{}.json", suite.name).into()));
     let Some(path) = path else { return };
-    let doc = JsonValue::obj([
-        ("bin", JsonValue::str(bin.to_string())),
+    let mut pairs = vec![
+        ("bin", JsonValue::str(suite.name)),
         ("runs", JsonValue::arr(reports.iter().map(|r| r.to_json()))),
-    ]);
+    ];
+    if let Some(data) = data {
+        pairs.push(("data", data));
+    }
+    let doc = JsonValue::obj(pairs);
     write_json(&path, &doc, "run reports");
 }
 
@@ -441,6 +715,34 @@ mod tests {
         let mut o = Options::defaults(Command::Run(vec!["fig6".into()]));
         parse_flags(args("--totally-unknown --jobs 2"), &mut o, false).unwrap();
         assert_eq!(o.jobs, 2);
+    }
+
+    #[test]
+    fn parses_bench_command_and_flags() {
+        let o = parse_lab_args(args(
+            "bench smoke --runs 5 --jobs 1 --threshold 3.0 --compare BENCH_smoke.json",
+        ))
+        .unwrap();
+        assert_eq!(o.command, Command::Bench(vec!["smoke".into()]));
+        let b = o.bench.unwrap();
+        assert_eq!(b.runs, 5);
+        assert_eq!(b.threshold, 3.0);
+        assert_eq!(b.compare.as_deref(), Some(Path::new("BENCH_smoke.json")));
+        assert_eq!(o.jobs, 1);
+
+        let o =
+            parse_lab_args(args("bench --check a.json --check b.json --against c.json")).unwrap();
+        assert_eq!(o.command, Command::Bench(Vec::new()));
+        let b = o.bench.unwrap();
+        assert_eq!(b.check.len(), 2);
+        assert_eq!(b.against.as_deref(), Some(Path::new("c.json")));
+    }
+
+    #[test]
+    fn bench_flags_are_rejected_outside_bench() {
+        assert!(parse_lab_args(args("run fig6 --runs 3")).is_err());
+        assert!(parse_lab_args(args("bench smoke --threshold 0.5")).is_err());
+        assert!(parse_lab_args(args("bench smoke --runs zero")).is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use pimdsm::RunReport;
 use pimdsm_engine::Cycle;
 use pimdsm_obs::Tracer;
+use pimdsm_prof::Snapshot;
 
 use crate::cache::ResultCache;
 use crate::spec::PointSpec;
@@ -59,6 +60,12 @@ pub struct PointOutcome {
     pub report: Result<RunReport, String>,
     /// Whether the report came from the cache.
     pub cache_hit: bool,
+    /// Wall-clock time of this point (cache lookup or simulation).
+    /// Non-deterministic by nature.
+    pub wall: Duration,
+    /// Deterministic profiler-counter deltas of this point's simulation
+    /// (all zeros for a cache hit — nothing was simulated).
+    pub counters: Snapshot,
 }
 
 /// The result of a whole sweep, in point order.
@@ -73,6 +80,10 @@ pub struct SweepResult {
     pub trace_json: Option<String>,
     /// Wall-clock time of the sweep.
     pub wall: Duration,
+    /// Summed per-point wall time spent actually simulating (misses).
+    pub cold_wall: Duration,
+    /// Summed per-point wall time spent serving cache hits.
+    pub hit_wall: Duration,
 }
 
 impl SweepResult {
@@ -100,12 +111,26 @@ impl SweepResult {
             .map(|o| o.report.as_ref().ok())
             .collect()
     }
+
+    /// Deterministic counter totals over the sweep: additive counters
+    /// summed, queue peak max-merged. Order-free, so the totals do not
+    /// depend on `--jobs`.
+    pub fn counter_totals(&self) -> Snapshot {
+        let mut total = Snapshot::default();
+        for o in &self.outcomes {
+            total.merge(&o.counters);
+        }
+        total
+    }
 }
 
 /// Runs one point, instrumented as requested. Returns the report and the
 /// serialized trace (when this point is the traced one).
 fn run_point(spec: &PointSpec, traced: bool, epoch: Option<Cycle>) -> (RunReport, Option<String>) {
-    let mut machine = spec.build_machine();
+    let mut machine = {
+        pimdsm_prof::phase!("point.build");
+        spec.build_machine()
+    };
     let tracer = traced.then(|| {
         let t = Tracer::enabled();
         machine.attach_tracer(t.clone());
@@ -114,7 +139,10 @@ fn run_point(spec: &PointSpec, traced: bool, epoch: Option<Cycle>) -> (RunReport
     if let Some(e) = epoch {
         machine.sample_epochs(e);
     }
-    let report = machine.run();
+    let report = {
+        pimdsm_prof::phase!("point.run");
+        machine.run()
+    };
     // The tracer is Rc-based (deliberately not Send), so the Chrome JSON
     // must be serialized here, inside the worker that owns it.
     (report, tracer.map(|t| t.to_chrome_json()))
@@ -157,8 +185,10 @@ pub fn run_sweep(
                 let traced = traced_index == Some(i);
                 let instrumented = traced || inst.epoch.is_some();
 
+                let point_start = Instant::now();
                 let mut cache_hit = false;
                 let mut trace_json = None;
+                let mut counters = Snapshot::default();
                 let report = if let Some(r) = (!instrumented)
                     .then(|| cache.and_then(|c| c.load(&spec)))
                     .flatten()
@@ -166,7 +196,11 @@ pub fn run_sweep(
                     cache_hit = true;
                     Ok(r)
                 } else {
-                    match catch_unwind(AssertUnwindSafe(|| run_point(&spec, traced, inst.epoch))) {
+                    let (caught, delta) = pimdsm_prof::counters::scoped(|| {
+                        catch_unwind(AssertUnwindSafe(|| run_point(&spec, traced, inst.epoch)))
+                    });
+                    counters = delta;
+                    match caught {
                         Ok((r, t)) => {
                             trace_json = t;
                             if !instrumented {
@@ -179,6 +213,7 @@ pub fn run_sweep(
                         Err(panic) => Err(panic_message(panic)),
                     }
                 };
+                let wall = point_start.elapsed();
 
                 if progress {
                     let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
@@ -193,6 +228,8 @@ pub fn run_sweep(
                     spec,
                     report,
                     cache_hit,
+                    wall,
+                    counters,
                 });
             });
         }
@@ -205,11 +242,20 @@ pub fn run_sweep(
         .map(|o| o.expect("every point produced an outcome"))
         .collect();
     let hits = outcomes.iter().filter(|o| o.cache_hit).count();
+    let split = |hit: bool| {
+        outcomes
+            .iter()
+            .filter(|o| o.cache_hit == hit)
+            .map(|o| o.wall)
+            .sum()
+    };
     SweepResult {
         misses: n - hits,
         hits,
         trace_json: trace_slot.into_inner().unwrap(),
         wall: start.elapsed(),
+        cold_wall: split(false),
+        hit_wall: split(true),
         outcomes,
     }
 }

@@ -12,6 +12,10 @@
 //! * [`cache`]: a content-addressed result cache keyed by (canonical
 //!   string, workspace source fingerprint) makes re-runs and interrupted
 //!   sweeps resume instantly, and self-invalidates on any code change.
+//! * [`mod@bench`]: repeated-run measurement of a suite (`pimdsm-lab bench`)
+//!   producing schema-versioned `BENCH_<suite>.json` documents and a
+//!   threshold-based regression comparator, on top of the `pimdsm-prof`
+//!   counters threaded through the executor.
 //!
 //! The [`cli`] module is the single flag surface shared by the
 //! `pimdsm-lab` binary and the thin per-figure wrappers in
@@ -19,12 +23,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod cache;
 pub mod cli;
 pub mod exec;
 pub mod spec;
 pub mod suites;
 
+pub use bench::{compare, measure_suite, validate_doc, BenchResult, Compared, BENCH_SCHEMA};
 pub use cache::{workspace_fingerprint, ResultCache};
 pub use exec::{run_sweep, Instrumentation, PointOutcome, SweepResult};
 pub use spec::{Config, MachineSpec, PointSpec, Tweak, WorkloadSpec};

@@ -11,6 +11,7 @@
 use std::fmt::Write as _;
 
 use pimdsm::RunReport;
+use pimdsm_obs::JsonValue;
 use pimdsm_proto::Level;
 use pimdsm_workloads::{build, AppId, Scale, ALL_APPS};
 
@@ -36,18 +37,29 @@ pub struct Suite {
     pub title: &'static str,
     points: fn(&SuiteCtx) -> Vec<PointSpec>,
     render: fn(&SuiteCtx, &[&RunReport]) -> String,
+    /// Machine-readable payload for suites whose content is *not* a set of
+    /// [`RunReport`]s — the tables derive their rows from calibration and
+    /// the catalog, so without this they would write no `results/` JSON.
+    data: Option<fn(&SuiteCtx) -> JsonValue>,
 }
 
 impl Suite {
     /// Expands the suite into its simulation points.
     pub fn points(&self, ctx: &SuiteCtx) -> Vec<PointSpec> {
+        pimdsm_prof::phase!("suite.points");
         (self.points)(ctx)
     }
 
     /// Renders the suite's text block from reports aligned with
     /// [`Suite::points`] order.
     pub fn render(&self, ctx: &SuiteCtx, reports: &[&RunReport]) -> String {
+        pimdsm_prof::phase!("suite.render");
         (self.render)(ctx, reports)
+    }
+
+    /// The suite's report-independent JSON payload, if it defines one.
+    pub fn data(&self, ctx: &SuiteCtx) -> Option<JsonValue> {
+        self.data.map(|f| f(ctx))
     }
 }
 
@@ -58,84 +70,98 @@ pub static ALL_SUITES: &[Suite] = &[
         title: "Figure 6: normalized execution time, Processor/Memory split",
         points: fig6_points,
         render: fig6_render,
+        data: None,
     },
     Suite {
         name: "fig7",
         title: "Figure 7: aggregated read latency by satisfaction level",
         points: fig6_points, // same 49 runs; the render differs
         render: fig7_render,
+        data: None,
     },
     Suite {
         name: "fig8",
         title: "Figure 8: D-node memory utilization by line state",
         points: fig8_points,
         render: fig8_render,
+        data: None,
     },
     Suite {
         name: "fig9",
         title: "Figure 9: execution time across the (#P, #D) design space",
         points: fig9_points,
         render: fig9_render,
+        data: None,
     },
     Suite {
         name: "fig10a",
         title: "Figure 10-(a): dynamic reconfiguration of Dbase",
         points: fig10a_points,
         render: fig10a_render,
+        data: None,
     },
     Suite {
         name: "fig10b",
         title: "Figure 10-(b): computation in memory for Dbase",
         points: fig10b_points,
         render: fig10b_render,
+        data: None,
     },
     Suite {
         name: "table1",
         title: "Table 1: uncontended round-trip latencies, paper vs measured",
         points: no_points,
         render: table1_render,
+        data: Some(table1_data),
     },
     Suite {
         name: "table2",
         title: "Table 2: protocol handler costs",
         points: no_points,
         render: table2_render,
+        data: Some(table2_data),
     },
     Suite {
         name: "table3",
         title: "Table 3: applications and scaled problem sizes",
         points: no_points,
         render: table3_render,
+        data: Some(table3_data),
     },
     Suite {
         name: "ablation_assoc",
         title: "Ablation: attraction-memory associativity and index hashing",
         points: assoc_points,
         render: assoc_render,
+        data: None,
     },
     Suite {
         name: "ablation_handlers",
         title: "Ablation: software protocol-handler cost sensitivity",
         points: handlers_points,
         render: handlers_render,
+        data: None,
     },
     Suite {
         name: "ablation_onchip",
         title: "Ablation: on-chip fraction of P-node local memory",
         points: onchip_points,
         render: onchip_render,
+        data: None,
     },
     Suite {
         name: "ablation_sharedlist",
         title: "Ablation: D-node SharedList reclamation policy",
         points: sharedlist_points,
         render: sharedlist_render,
+        data: None,
     },
     Suite {
         name: "smoke",
         title: "CI smoke sweep: 2 apps x 2 configs",
         points: smoke_points,
         render: smoke_render,
+        data: None,
     },
 ];
 
@@ -644,6 +670,88 @@ fn table3_render(ctx: &SuiteCtx, _: &[&RunReport]) -> String {
     out
 }
 
+fn table1_data(_: &SuiteCtx) -> JsonValue {
+    use pimdsm::calibration::{measure, PAPER};
+    let m = measure();
+    let rows = [
+        ("on_chip_l1", PAPER.l1, m.l1),
+        ("on_chip_l2", PAPER.l2, m.l2),
+        ("local_mem_on_chip", PAPER.mem_on, m.mem_on),
+        ("local_mem_off_chip", PAPER.mem_off, m.mem_off),
+        ("remote_2hop", PAPER.hop2, m.hop2),
+        ("remote_3hop", PAPER.hop3, m.hop3),
+    ];
+    JsonValue::obj([(
+        "latencies",
+        JsonValue::arr(rows.into_iter().map(|(device, paper, measured)| {
+            JsonValue::obj([
+                ("device", JsonValue::str(device)),
+                ("measured", JsonValue::u64(measured)),
+                ("paper", JsonValue::u64(paper)),
+            ])
+        })),
+    )])
+}
+
+fn table2_data(_: &SuiteCtx) -> JsonValue {
+    use pimdsm_proto::{ControllerKind, HandlerCosts, HandlerKind};
+    let controllers = [
+        ("agg_software", ControllerKind::Software),
+        ("numa_coma_hardware", ControllerKind::Hardware),
+    ];
+    JsonValue::obj([(
+        "controllers",
+        JsonValue::arr(controllers.into_iter().map(|(name, kind)| {
+            let c = HandlerCosts::paper(kind);
+            let handler = |h: HandlerKind| {
+                let (latency, occupancy) = c.cost(h, 0);
+                JsonValue::obj([
+                    ("latency", JsonValue::u64(latency)),
+                    ("occupancy", JsonValue::u64(occupancy)),
+                ])
+            };
+            JsonValue::obj([
+                ("acknowledgment", handler(HandlerKind::Acknowledgment)),
+                ("controller", JsonValue::str(name)),
+                ("per_inval", JsonValue::u64(c.per_inval)),
+                ("read", handler(HandlerKind::Read)),
+                ("read_exclusive", handler(HandlerKind::ReadExclusive)),
+                ("write_back", handler(HandlerKind::WriteBack)),
+            ])
+        })),
+    )])
+}
+
+fn table3_data(ctx: &SuiteCtx) -> JsonValue {
+    JsonValue::obj([
+        (
+            "apps",
+            JsonValue::arr(ALL_APPS.into_iter().map(|app| {
+                let (l1, l2) = app.cache_kb();
+                let w = build(app, ctx.threads, ctx.scale);
+                JsonValue::obj([
+                    ("app", JsonValue::str(app.name())),
+                    ("description", JsonValue::str(app.description())),
+                    ("l1_kb", JsonValue::u64(l1)),
+                    ("l2_kb", JsonValue::u64(l2)),
+                    (
+                        "scaled_footprint_kib",
+                        JsonValue::u64(w.footprint_bytes() / 1024),
+                    ),
+                ])
+            })),
+        ),
+        (
+            "scale",
+            JsonValue::obj([
+                ("iter_div", JsonValue::u64(ctx.scale.iter_div)),
+                ("size_div", JsonValue::u64(ctx.scale.size_div)),
+            ]),
+        ),
+        ("threads", JsonValue::u64(ctx.threads as u64)),
+    ])
+}
+
 // ------------------------------------------------------------- ablations
 
 const ASSOC_ORGS: [(&str, u32, bool); 5] = [
@@ -957,6 +1065,21 @@ mod tests {
             let text = find(name).unwrap().render(&ctx, &[]);
             assert!(text.starts_with("Table"), "{name}: {text}");
             assert!(text.lines().count() > 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn only_tables_define_data_payloads() {
+        let ctx = ctx();
+        for s in ALL_SUITES {
+            let data = s.data(&ctx);
+            if s.name.starts_with("table") {
+                let doc = data.expect(s.name).render_pretty();
+                assert!(doc.starts_with('{'), "{}: {doc}", s.name);
+                assert!(doc.len() > 100, "{}: payload too small", s.name);
+            } else {
+                assert!(data.is_none(), "{} should carry reports, not data", s.name);
+            }
         }
     }
 

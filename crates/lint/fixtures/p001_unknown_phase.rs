@@ -1,0 +1,12 @@
+//! Known-bad fixture for P001: a typo'd phase name next to a valid one.
+//! The valid entry proves the rule doesn't fire on registered phases.
+
+pub fn build_and_run() {
+    {
+        pimdsm_prof::phase!("point.build");
+    }
+    {
+        // Typo: the registry spells this "point.run".
+        pimdsm_prof::phase!("point.rnu");
+    }
+}

@@ -20,6 +20,7 @@
 //! | T001 | every constructed `Txn` reaches `.finish(...)` |
 //! | S001 | every pub stats field appears in both `to_json` and `from_json` |
 //! | O001 | emitted trace names/categories ⊆ obs registry, and vice versa |
+//! | P001 | entered `phase!(...)` names ⊆ prof phase registry, and vice versa |
 //! | L000 | `pimdsm-lint:` directives are well-formed |
 //!
 //! Suppression: `// pimdsm-lint: allow(D001, "reason")` on the offending
@@ -182,6 +183,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
         rules::t001(ws),
         rules::s001(ws),
         rules::o001(ws),
+        rules::p001(ws),
         rules::l000(ws),
     ]
     .into_iter()

@@ -33,6 +33,10 @@ pub const RULES: &[(&str, &str)] = &[
         "every trace event name/category emitted must be registered in pimdsm-obs (and vice versa)",
     ),
     (
+        "P001",
+        "every prof::phase!(...) name must be registered in pimdsm-prof's phase registry (and vice versa)",
+    ),
+    (
         "L000",
         "pimdsm-lint directives themselves must be well-formed: allow(<RULE>, \"reason\")",
     ),
@@ -45,11 +49,13 @@ fn is_sim(krate: &str) -> bool {
 }
 
 /// Crates allowed to read wall clocks / entropy: orchestration and bench
-/// tooling, the analyzer itself, and the offline dependency shims.
+/// tooling, the host-side profiler (its wall times live in explicitly
+/// non-deterministic fields), the analyzer itself, and the offline
+/// dependency shims.
 fn d002_exempt(krate: &str) -> bool {
     matches!(
         krate,
-        "lab" | "bench" | "lint" | "criterion-shim" | "proptest-shim"
+        "lab" | "bench" | "prof" | "lint" | "criterion-shim" | "proptest-shim"
     )
 }
 
@@ -401,6 +407,111 @@ pub fn o001(ws: &Workspace) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// P001 — profiling-phase registry sync.
+///
+/// `pimdsm_prof::phase!` panics at runtime on a name missing from
+/// `pimdsm_prof::phase::registry::PHASES` — this rule moves that failure
+/// to lint time, and conversely flags registered phases no non-test code
+/// ever enters (stale entries that would clutter every bench document).
+pub fn p001(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(phases) = load_phase_registry(ws) else {
+        out.push(Diagnostic {
+            rule: "P001",
+            rel: "crates/prof/src/phase.rs".into(),
+            line: 1,
+            msg: "phase registry (registry::PHASES) not found in pimdsm-prof".into(),
+        });
+        return out;
+    };
+
+    let mut entered: BTreeSet<String> = BTreeSet::new();
+    const NEEDLE: &str = "phase!(";
+    for entry in &ws.files {
+        // The prof crate holds the macro definition, the registry itself,
+        // and doc examples — not real instrumentation sites.
+        if entry.krate == "prof" || entry.is_test_code {
+            continue;
+        }
+        let file = &entry.file;
+        let mut search = 0usize;
+        while let Some(rel_off) = file.masked[search..].find(NEEDLE) {
+            let at = search + rel_off;
+            let open = at + NEEDLE.len() - 1;
+            search = open + 1;
+            // `my_phase!(` is someone else's macro.
+            if at > 0 && is_ident_char(file.masked.as_bytes()[at - 1]) {
+                continue;
+            }
+            if file.in_test_region(at) {
+                continue;
+            }
+            let Some(close) = match_paren(&file.masked, open) else {
+                continue;
+            };
+            match literal_in(file, open + 1, close) {
+                Some(value) => {
+                    if phases.contains(&value) {
+                        entered.insert(value);
+                    } else {
+                        out.push(Diagnostic {
+                            rule: "P001",
+                            rel: file.rel.clone(),
+                            line: file.line_of(at),
+                            msg: format!(
+                                "profiling phase \"{value}\" is not registered in pimdsm_prof::phase::registry::PHASES — entering it panics at runtime"
+                            ),
+                        });
+                    }
+                }
+                None => out.push(Diagnostic {
+                    rule: "P001",
+                    rel: file.rel.clone(),
+                    line: file.line_of(at),
+                    msg: "phase!(...) takes a string literal so the phase set is statically checkable; found a non-literal argument"
+                        .into(),
+                }),
+            }
+        }
+    }
+
+    for value in phases.iter() {
+        if !entered.contains(value) {
+            out.push(Diagnostic {
+                rule: "P001",
+                rel: "crates/prof/src/phase.rs".into(),
+                line: 1,
+                msg: format!(
+                    "registered profiling phase \"{value}\" is never entered by any phase!(...) outside tests (stale registry entry)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts `registry::PHASES` from the prof phase module.
+fn load_phase_registry(ws: &Workspace) -> Option<BTreeSet<String>> {
+    let file = ws
+        .files
+        .iter()
+        .map(|e| &e.file)
+        .find(|f| f.rel.ends_with("prof/src/phase.rs"))?;
+    let at = file.masked.find("pub const PHASES")?;
+    // Skip past the `=` so the `[` of the `&[&str]` type annotation is
+    // not mistaken for the array itself.
+    let eq = at + file.masked[at..].find('=')?;
+    let open = eq + file.masked[eq..].find('[')?;
+    let close = open + file.masked[open..].find(']')?;
+    Some(
+        file.strings
+            .iter()
+            .filter(|s| s.offset > open && s.offset < close)
+            .map(|s| s.value.clone())
+            .collect(),
+    )
 }
 
 /// L000 — malformed `pimdsm-lint:` directives anywhere in the workspace.

@@ -136,6 +136,19 @@ fn o001_fires_on_unregistered_trace_vocabulary() {
 }
 
 #[test]
+fn p001_fires_on_unregistered_phase_names() {
+    let diags = scan_fixture("p001_unknown_phase.rs", "lab");
+    assert!(diags.iter().all(|d| d.rule == "P001"), "{diags:?}");
+    assert_eq!(diags.len(), 1, "only the typo fires: {diags:?}");
+    assert!(diags[0].msg.contains("point.rnu"), "{diags:?}");
+    assert_eq!(
+        diags[0].line,
+        line_of("p001_unknown_phase.rs", "point.rnu\");"),
+        "span points at the bad invocation"
+    );
+}
+
+#[test]
 fn allow_escape_hatch_suppresses_with_reason() {
     let diags = scan_fixture("allow_ok.rs", "mem");
     assert!(
@@ -178,7 +191,7 @@ fn cli_exits_zero_on_clean_workspace_and_lists_rules() {
         .output()
         .expect("run pimdsm-lint --list");
     let text = String::from_utf8_lossy(&list.stdout);
-    for id in ["D001", "D002", "T001", "S001", "O001"] {
+    for id in ["D001", "D002", "T001", "S001", "O001", "P001"] {
         assert!(text.contains(id), "--list names {id}");
     }
 }

@@ -1,0 +1,185 @@
+//! Deterministic event counters.
+//!
+//! These count *what the simulator did* — engine events popped, the peak
+//! event-queue depth, transaction walks and their steps. For a
+//! deterministic simulation they are bit-identical across repeated runs,
+//! which is exactly what `pimdsm-lab bench` records in the
+//! `deterministic` block of a `BENCH_*.json` and what
+//! `tests/determinism.rs` asserts.
+//!
+//! Counters are thread-local `Cell`s: each lab worker accumulates the
+//! counters of the points it runs and snapshots a per-point delta with
+//! [`scoped`], so no cross-thread ordering can ever make the values
+//! nondeterministic. The instrumentation hooks (`Machine::run`,
+//! `Txn::finish`) call [`add`]/[`observe_max`] unconditionally — a bump
+//! is one thread-local add, cheap enough to leave on.
+
+use std::cell::Cell;
+
+/// Events popped by the engine event loop (`Machine::run`).
+pub const ENGINE_EVENTS: usize = 0;
+/// Peak depth of the engine event queue (max-merged, not summed).
+pub const ENGINE_QUEUE_PEAK: usize = 1;
+/// Transaction walks closed by `Txn::finish`.
+pub const TXN_WALKS: usize = 2;
+/// Individual frontier-advance steps across all transaction walks.
+pub const TXN_STEPS: usize = 3;
+/// Number of counters.
+pub const NUM_COUNTERS: usize = 4;
+
+/// Which counters merge by maximum instead of by sum.
+const IS_MAX: [bool; NUM_COUNTERS] = [false, true, false, false];
+
+/// Display names, indexed by counter id.
+pub const NAMES: [&str; NUM_COUNTERS] = [
+    "engine_events",
+    "engine_queue_peak",
+    "txn_walks",
+    "txn_steps",
+];
+
+std::thread_local! {
+    static COUNTERS: [Cell<u64>; NUM_COUNTERS] =
+        const { [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)] };
+}
+
+/// Adds `n` to an additive counter on the current thread.
+#[inline]
+pub fn add(counter: usize, n: u64) {
+    COUNTERS.with(|c| c[counter].set(c[counter].get() + n));
+}
+
+/// Raises a max-merged counter to at least `v` on the current thread.
+#[inline]
+pub fn observe_max(counter: usize, v: u64) {
+    COUNTERS.with(|c| c[counter].set(c[counter].get().max(v)));
+}
+
+/// A point-in-time copy of this thread's counters, or a merged/delta
+/// aggregate of several.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values, indexed by the `const` ids of this module.
+    pub vals: [u64; NUM_COUNTERS],
+}
+
+impl Snapshot {
+    /// Events popped by the engine event loop.
+    pub fn engine_events(&self) -> u64 {
+        self.vals[ENGINE_EVENTS]
+    }
+
+    /// Peak engine event-queue depth.
+    pub fn engine_queue_peak(&self) -> u64 {
+        self.vals[ENGINE_QUEUE_PEAK]
+    }
+
+    /// Transaction walks finished.
+    pub fn txn_walks(&self) -> u64 {
+        self.vals[TXN_WALKS]
+    }
+
+    /// Transaction frontier-advance steps.
+    pub fn txn_steps(&self) -> u64 {
+        self.vals[TXN_STEPS]
+    }
+
+    /// Merges `other` in: additive counters sum, max counters take the
+    /// maximum. Aggregating per-point snapshots this way is order-free,
+    /// so a parallel sweep aggregates to the same totals as a serial one.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (i, &is_max) in IS_MAX.iter().enumerate() {
+            if is_max {
+                self.vals[i] = self.vals[i].max(other.vals[i]);
+            } else {
+                self.vals[i] += other.vals[i];
+            }
+        }
+    }
+}
+
+/// The current thread's raw cumulative counters.
+pub fn snapshot() -> Snapshot {
+    COUNTERS.with(|c| {
+        let mut s = Snapshot::default();
+        for (i, cell) in c.iter().enumerate() {
+            s.vals[i] = cell.get();
+        }
+        s
+    })
+}
+
+/// Runs `f` and returns its result together with the counter delta it
+/// produced on this thread: additive counters as the difference, max
+/// counters as the maximum observed *within* the scope (they are zeroed
+/// on entry so a deep queue in an earlier scope cannot mask this one).
+pub fn scoped<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
+    let before = COUNTERS.with(|c| {
+        let mut s = Snapshot::default();
+        for i in 0..NUM_COUNTERS {
+            if IS_MAX[i] {
+                c[i].set(0);
+            } else {
+                s.vals[i] = c[i].get();
+            }
+        }
+        s
+    });
+    let r = f();
+    let mut delta = snapshot();
+    for (i, &is_max) in IS_MAX.iter().enumerate() {
+        if !is_max {
+            delta.vals[i] -= before.vals[i];
+        }
+    }
+    (r, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_reports_deltas_and_scope_local_peaks() {
+        add(ENGINE_EVENTS, 10);
+        observe_max(ENGINE_QUEUE_PEAK, 99);
+        let ((), d) = scoped(|| {
+            add(ENGINE_EVENTS, 5);
+            add(TXN_WALKS, 2);
+            add(TXN_STEPS, 7);
+            observe_max(ENGINE_QUEUE_PEAK, 3);
+            observe_max(ENGINE_QUEUE_PEAK, 1);
+        });
+        assert_eq!(d.engine_events(), 5, "additive counters are deltas");
+        assert_eq!(d.txn_walks(), 2);
+        assert_eq!(d.txn_steps(), 7);
+        assert_eq!(
+            d.engine_queue_peak(),
+            3,
+            "max counters report the scope's own peak, not an earlier one"
+        );
+    }
+
+    #[test]
+    fn merge_sums_additive_and_maxes_peaks() {
+        let mut a = Snapshot {
+            vals: [10, 4, 1, 100],
+        };
+        let b = Snapshot {
+            vals: [5, 9, 2, 50],
+        };
+        a.merge(&b);
+        assert_eq!(a.vals, [15, 9, 3, 150]);
+    }
+
+    #[test]
+    fn counters_are_thread_local() {
+        let ((), d) = scoped(|| {
+            add(TXN_WALKS, 1);
+            std::thread::scope(|s| {
+                s.spawn(|| add(TXN_WALKS, 1000)).join().unwrap();
+            });
+        });
+        assert_eq!(d.txn_walks(), 1, "another thread's bumps are invisible");
+    }
+}

@@ -42,6 +42,7 @@ pub struct Txn {
     start: Cycle,
     t: Cycle,
     comps: [Cycle; 5],
+    steps: u32,
 }
 
 impl Txn {
@@ -53,6 +54,7 @@ impl Txn {
             start: now,
             t: now,
             comps: [0; 5],
+            steps: 0,
         }
     }
 
@@ -65,6 +67,7 @@ impl Txn {
     /// component `comp`. A target at or before the frontier (an overlapped
     /// step) adds nothing.
     pub fn to(&mut self, comp: usize, at: Cycle) -> Cycle {
+        self.steps += 1;
         if at > self.t {
             self.comps[comp] += at - self.t;
             self.t = at;
@@ -124,6 +127,10 @@ impl Txn {
     /// Closes the walk: optionally emits the read/write span, records read
     /// statistics and the component breakdown, and returns the [`Access`].
     pub fn finish(self, fab: &mut Fabric, level: Level, kind: TxnKind, span: bool) -> Access {
+        // Host-side profiler: one thread-local bump per walk, amortized
+        // over the walk's many booked steps. Pure observation.
+        pimdsm_prof::counters::add(pimdsm_prof::counters::TXN_WALKS, 1);
+        pimdsm_prof::counters::add(pimdsm_prof::counters::TXN_STEPS, self.steps as u64);
         let total = self.t - self.start;
         debug_assert_eq!(
             self.comps.iter().sum::<Cycle>(),

@@ -135,6 +135,85 @@ fn coma_suite_point_is_bit_deterministic() {
     assert_suite_point_deterministic("fig6", "COMA75");
 }
 
+/// Runs one suite point bare and once more under active profiling (a
+/// counter scope plus an entered phase) and asserts the simulation output
+/// is byte-identical: the profiler observes the host, never the simulated
+/// machine. Also checks the observation actually happened — the scope
+/// must have counted events and walks.
+fn assert_profiling_does_not_perturb(suite: &str, label_substr: &str) {
+    use pimdsm_lab::{find, SuiteCtx};
+    use pimdsm_obs::{ToJson, Tracer};
+
+    let ctx = SuiteCtx {
+        threads: 4,
+        scale: Scale::ci(),
+    };
+    let points = find(suite).expect("suite exists").points(&ctx);
+    let point = points
+        .iter()
+        .find(|p| p.label.contains(label_substr))
+        .unwrap_or_else(|| panic!("{suite} has a point labelled *{label_substr}*"));
+    let run = || {
+        let mut m = point.build_machine();
+        let tracer = Tracer::enabled();
+        m.attach_tracer(tracer.clone());
+        (m.run(), tracer.events_sorted())
+    };
+
+    let (ra, ea) = run();
+    let ((rb, eb), delta) = pimdsm_prof::counters::scoped(|| {
+        pimdsm_prof::phase!("point.run");
+        run()
+    });
+    let what = point.key();
+    assert!(
+        delta.engine_events() > 0 && delta.txn_walks() > 0,
+        "{what}: the profiled run must actually have been counted: {delta:?}"
+    );
+    assert_eq!(
+        ra.to_json().render_pretty(),
+        rb.to_json().render_pretty(),
+        "{what}: profiling must not change the report"
+    );
+    assert_eq!(
+        ea, eb,
+        "{what}: profiling must not change the exact event sequence"
+    );
+}
+
+/// Profiling an AGG point changes nothing in its simulated output.
+#[test]
+fn profiled_agg_point_is_unperturbed() {
+    assert_profiling_does_not_perturb("fig6", "1/2AGG75");
+}
+
+/// Profiling a COMA point changes nothing in its simulated output.
+#[test]
+fn profiled_coma_point_is_unperturbed() {
+    assert_profiling_does_not_perturb("fig6", "COMA75");
+}
+
+/// The deterministic counter block of a bench (engine events, queue
+/// peak, txn walks/steps) is identical across repeated measured runs.
+/// Allocation deltas are asserted by the `bench` CLI itself, where no
+/// sibling test threads allocate concurrently.
+#[test]
+fn bench_counters_are_run_stable() {
+    use pimdsm_lab::{find, measure_suite, SuiteCtx};
+
+    let ctx = SuiteCtx {
+        threads: 4,
+        scale: Scale::ci(),
+    };
+    let r = measure_suite(find("smoke").expect("smoke suite"), &ctx, 2, 2, false)
+        .expect("smoke bench runs");
+    assert_eq!(
+        r.samples[0].counters, r.samples[1].counters,
+        "deterministic bench counters must not vary between runs"
+    );
+    assert!(r.samples[0].counters.engine_events() > 0);
+}
+
 #[test]
 fn dynamic_reconfiguration_is_bit_deterministic() {
     use pimdsm_obs::ToJson;
