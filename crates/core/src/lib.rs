@@ -41,5 +41,5 @@ pub mod machine;
 pub mod report;
 
 pub use config::{ArchSpec, MachineCfg};
-pub use machine::{Machine, ReconfigPlan};
+pub use machine::{Machine, ReconfigError, ReconfigPlan};
 pub use report::{RunReport, ThreadAcct};

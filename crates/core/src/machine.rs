@@ -15,8 +15,9 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use pimdsm_engine::{Cycle, EventQueue};
+use pimdsm_faults::{FaultKind, FaultPlan, FaultSchedule, RecoveryStats};
 use pimdsm_obs::{trace::track, EpochSampler, Tracer};
-use pimdsm_proto::{AggSystem, ComaSystem, MemSystem, NodeId, NumaSystem};
+use pimdsm_proto::{Access, AggSystem, ComaSystem, Level, MemSystem, NodeId, NumaSystem};
 use pimdsm_workloads::{Op, ThreadGen, Workload};
 
 use crate::config::{resolve, ArchSpec};
@@ -60,6 +61,44 @@ impl ReconfigPlan {
             tlb_per_p: 1_000,
         }
     }
+}
+
+/// Why a [`ReconfigPlan`] cannot be attached to this machine/workload
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The workload declares no reconfiguration barrier.
+    NoReconfigPoint,
+    /// Only AGG machines can trade P-nodes for D-nodes.
+    NotAgg,
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::NoReconfigPoint => {
+                write!(f, "workload has no reconfiguration point")
+            }
+            ReconfigError::NotAgg => write!(f, "only AGG machines reconfigure"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// Live state of an attached [`FaultPlan`]: the pending schedule, the
+/// run's durability policy, the accounting sink, and the transient
+/// effects (stalled threads, an open link-degradation window).
+struct FaultRuntime {
+    schedule: FaultSchedule,
+    durability: pimdsm_faults::Durability,
+    stats: RecoveryStats,
+    /// Threads frozen until their node's recovery completes.
+    thread_stall: BTreeMap<usize, Cycle>,
+    /// End of the current link-degradation window (0 = none).
+    degrade_until: Cycle,
+    /// Extra cycles per remote access inside the window.
+    degrade_extra: Cycle,
 }
 
 enum SystemBox {
@@ -124,6 +163,7 @@ pub struct Machine {
     lock_base: u64,
     reconfig: Option<ReconfigPlan>,
     reconfig_cycles: Cycle,
+    faults: Option<FaultRuntime>,
     label: String,
     tracer: Tracer,
     epoch: Option<Cycle>,
@@ -259,6 +299,7 @@ impl Machine {
             lock_base,
             reconfig: None,
             reconfig_cycles: 0,
+            faults: None,
             label,
             tracer: Tracer::disabled(),
             epoch: None,
@@ -291,20 +332,42 @@ impl Machine {
     /// Schedules a dynamic reconfiguration at the workload's
     /// reconfiguration barrier.
     ///
-    /// # Panics
+    /// A plan targeting the machine's current shape is accepted as a
+    /// checked no-op: the barrier fires, nothing converts, and the run
+    /// charges zero reconfiguration cycles.
     ///
-    /// Panics if the workload has no reconfiguration point or the machine
-    /// is not AGG.
-    pub fn set_reconfig(&mut self, plan: ReconfigPlan) {
-        assert!(
-            self.workload.reconfig_barrier().is_some(),
-            "workload has no reconfiguration point"
-        );
-        assert!(
-            matches!(self.system, SystemBox::Agg(_)),
-            "only AGG machines reconfigure"
-        );
+    /// # Errors
+    ///
+    /// Fails if the workload has no reconfiguration point or the machine
+    /// is not AGG; the machine is left unchanged.
+    pub fn set_reconfig(&mut self, plan: ReconfigPlan) -> Result<(), ReconfigError> {
+        if self.workload.reconfig_barrier().is_none() {
+            return Err(ReconfigError::NoReconfigPoint);
+        }
+        if !matches!(self.system, SystemBox::Agg(_)) {
+            return Err(ReconfigError::NotAgg);
+        }
         self.reconfig = Some(plan);
+        Ok(())
+    }
+
+    /// Attaches a declarative fault schedule (see [`pimdsm_faults`]): the
+    /// run loop replays its cycle- and barrier-triggered events against
+    /// the simulated clock, and the finished [`RunReport`] carries the
+    /// recovery accounting in [`RunReport::faults`]. The plan's retry
+    /// policy, when set, replaces the fabric's default.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        if let Some(r) = plan.retry {
+            self.system.sys().fabric_mut().retry = r;
+        }
+        self.faults = Some(FaultRuntime {
+            schedule: FaultSchedule::new(&plan),
+            durability: plan.durability,
+            stats: RecoveryStats::default(),
+            thread_stall: BTreeMap::new(),
+            degrade_until: 0,
+            degrade_extra: 0,
+        });
     }
 
     /// Runs the workload to completion and returns the statistics.
@@ -325,6 +388,21 @@ impl Machine {
                 if s.due(now) {
                     let probe = self.system.sys_ref().epoch_probe();
                     s.sample(now, &probe);
+                }
+            }
+            if self
+                .faults
+                .as_ref()
+                .and_then(|f| f.schedule.next_cycle())
+                .is_some_and(|c| c <= now)
+            {
+                let due = self
+                    .faults
+                    .as_mut()
+                    .map(|f| f.schedule.due_at_cycle(now))
+                    .unwrap_or_default();
+                for kind in due {
+                    self.apply_fault(kind, now);
                 }
             }
             self.step(tid, now);
@@ -358,6 +436,15 @@ impl Machine {
             .max()
             .unwrap_or(0);
         let epochs = sampler.map(|s| s.finish(total, &self.system.sys_ref().epoch_probe()));
+        // Fold the fabric's retry accounting into the recovery stats: the
+        // protocol substrate counts the probes, the driver owns the sink.
+        let faults = self.faults.as_ref().map(|f| {
+            let fab = self.system.sys_ref().fabric();
+            let mut rs = f.stats.clone();
+            rs.retries += fab.retries;
+            rs.retry_wait_cycles += fab.retry_wait_cycles;
+            rs
+        });
         RunReport {
             arch: self.system.sys_ref().name().to_string(),
             app: self.workload.name().to_string(),
@@ -370,7 +457,134 @@ impl Machine {
             controller_util: self.system.sys_ref().controller_utilization(total),
             link_busy: self.system.sys_ref().net_link_busy(),
             reconfig_cycles: self.reconfig_cycles,
+            reconfig_armed: self.reconfig.is_some(),
+            faults,
             epochs,
+        }
+    }
+
+    /// Applies one fault at `now`: the protocol-level effect, the trace
+    /// event, and the driver-level consequences (thread re-binding,
+    /// stalls, degradation windows).
+    fn apply_fault(&mut self, kind: FaultKind, now: Cycle) {
+        match kind {
+            FaultKind::Kill { node } => self.apply_kill_fault(node, now),
+            FaultKind::Rejoin { node } => {
+                self.tracer.instant(
+                    track::MACHINE,
+                    0,
+                    "rejoin",
+                    "machine.fault",
+                    now,
+                    &[("node", node as u64)],
+                );
+                self.system.sys().apply_rejoin(node, now);
+                self.faults.as_mut().expect("fault runtime").stats.rejoins += 1;
+            }
+            FaultKind::DegradeLink { extra, for_cycles } => {
+                self.tracer.instant(
+                    track::MACHINE,
+                    0,
+                    "degrade",
+                    "machine.fault",
+                    now,
+                    &[("extra", extra), ("for_cycles", for_cycles)],
+                );
+                let f = self.faults.as_mut().expect("fault runtime");
+                f.degrade_until = now + for_cycles;
+                f.degrade_extra = extra;
+            }
+            FaultKind::HandlerStall { node, extra } => {
+                self.tracer.instant(
+                    track::MACHINE,
+                    0,
+                    "stall",
+                    "machine.fault",
+                    now,
+                    &[("node", node as u64), ("extra", extra)],
+                );
+                self.system.sys().stall_controller(node, now, extra);
+                let f = self.faults.as_mut().expect("fault runtime");
+                f.stats.stall_cycles += extra;
+            }
+        }
+    }
+
+    /// Kills `node`: the memory system recovers (re-homing, re-election,
+    /// scrubbing), threads bound to nodes that left the compute set are
+    /// re-bound to survivors, and every affected thread stalls until the
+    /// recovery completes.
+    fn apply_kill_fault(&mut self, node: NodeId, now: Cycle) {
+        self.tracer.instant(
+            track::MACHINE,
+            0,
+            "kill",
+            "machine.fault",
+            now,
+            &[("node", node as u64)],
+        );
+        let durability = self.faults.as_ref().expect("fault runtime").durability;
+        // Take the stats out so the system and the sink can be borrowed
+        // together; put the updated sink back below.
+        let mut rs = std::mem::take(&mut self.faults.as_mut().expect("fault runtime").stats);
+        let recovered_at = self.system.sys().apply_kill(node, now, durability, &mut rs);
+        rs.kills += 1;
+        rs.lost_work_cycles += durability.lost_work(now);
+        self.tracer.span(
+            track::MACHINE,
+            0,
+            "recovery",
+            "machine.recovery",
+            now,
+            (recovered_at - now).max(1),
+            &[("node", node as u64)],
+        );
+
+        // Re-bind threads whose node left the compute set, preferring
+        // compute nodes no thread currently uses (smallest first).
+        let compute = self.system.sys_ref().compute_nodes();
+        let mut free: Vec<NodeId> = compute
+            .iter()
+            .copied()
+            .filter(|n| !self.threads.iter().any(|t| t.node == *n))
+            .collect();
+        let mut stalled: Vec<usize> = Vec::new();
+        for tid in 0..self.threads.len() {
+            let t = &self.threads[tid];
+            if t.status == Status::Done || t.node == usize::MAX {
+                continue;
+            }
+            if !compute.contains(&t.node) {
+                let new_node = if free.is_empty() {
+                    compute[tid % compute.len()]
+                } else {
+                    free.remove(0)
+                };
+                self.threads[tid].node = new_node;
+                stalled.push(tid);
+            }
+        }
+        let f = self.faults.as_mut().expect("fault runtime");
+        f.stats = rs;
+        // The re-bound threads lost their context: they resume (cold)
+        // once the recovery completes.
+        for tid in stalled {
+            let slot = f.thread_stall.entry(tid).or_insert(recovered_at);
+            *slot = (*slot).max(recovered_at);
+        }
+    }
+
+    /// Applies the open link-degradation window to a finished access:
+    /// remote completions inside the window pay the extra latency.
+    fn degraded(&mut self, acc: &Access) -> Cycle {
+        let Some(f) = &mut self.faults else {
+            return acc.done_at;
+        };
+        if acc.done_at < f.degrade_until && matches!(acc.level, Level::Hop2 | Level::Hop3) {
+            f.stats.degraded_cycles += f.degrade_extra;
+            acc.done_at + f.degrade_extra
+        } else {
+            acc.done_at
         }
     }
 
@@ -401,6 +615,17 @@ impl Machine {
     }
 
     fn step(&mut self, tid: usize, now: Cycle) {
+        // A thread whose node is mid-recovery is frozen until the memory
+        // system finished reconstructing; it resumes where it left off.
+        if let Some(f) = &mut self.faults {
+            if let Some(&until) = f.thread_stall.get(&tid) {
+                if now < until {
+                    self.queue.push(until, tid);
+                    return;
+                }
+                f.thread_stall.remove(&tid);
+            }
+        }
         let Some(op) = self.threads[tid].gen.next_op() else {
             self.threads[tid].acct.finish = now;
             self.threads[tid].status = Status::Done;
@@ -414,8 +639,9 @@ impl Machine {
             Op::Load(a) => {
                 let node = self.threads[tid].node;
                 let acc = self.system.sys().read(node, a, now);
-                self.charge_load(tid, now, acc.done_at);
-                self.queue.push(acc.done_at, tid);
+                let done = self.degraded(&acc);
+                self.charge_load(tid, now, done);
+                self.queue.push(done, tid);
             }
             Op::LoadBatch {
                 base,
@@ -516,8 +742,9 @@ impl Machine {
                 now + i
             };
             let acc = self.system.sys().read(node, addr_of(i), issue);
-            window.push_back(acc.done_at);
-            last_done = last_done.max(acc.done_at);
+            let done = self.degraded(&acc);
+            window.push_back(done);
+            last_done = last_done.max(done);
         }
         // Issue slots are Processor time; the remainder of the span is
         // overlap-adjusted Memory stall.
@@ -550,7 +777,8 @@ impl Machine {
         }
         let node = self.threads[tid].node;
         let acc = self.system.sys().write(node, addr, t);
-        self.threads[tid].wb.push_back(acc.done_at);
+        let done = self.degraded(&acc);
+        self.threads[tid].wb.push_back(done);
         self.threads[tid].acct.compute += 1;
         t
     }
@@ -573,6 +801,17 @@ impl Machine {
                 release_at = self.do_reconfig(plan, now);
                 self.reconfig_cycles += release_at - now;
             }
+        }
+        // Barrier-triggered faults fire as the barrier releases; their
+        // consequences (stalls, recovery waits) apply to the released
+        // threads through the normal step-time checks.
+        let due = self
+            .faults
+            .as_mut()
+            .map(|f| f.schedule.due_at_barrier(id))
+            .unwrap_or_default();
+        for kind in due {
+            self.apply_fault(kind, release_at);
         }
         self.tracer.instant(
             track::MACHINE,
@@ -621,6 +860,11 @@ impl Machine {
             cur_p + cur_d,
             "reconfiguration must preserve the node count"
         );
+        if plan.target_p == cur_p && plan.target_d == cur_d {
+            // Checked no-op: the machine already has the target shape, so
+            // no node converts and no overhead is charged.
+            return now;
+        }
         let mut t = now + plan.base_cycles;
         let mut pages_moved = 0u64;
 
@@ -837,10 +1081,26 @@ mod tests {
         let mut m = Machine::build(ArchSpec::Agg { n_d: 6 }, w, 0.5);
         // 2 threads running on 2 of the... build gives compute nodes for
         // max(t1,t2)=4 threads; 2 start, 2 delayed.
-        m.set_reconfig(ReconfigPlan::paper(4, 4));
+        m.set_reconfig(ReconfigPlan::paper(4, 4)).unwrap();
         let r = m.run();
         assert!(r.reconfig_cycles >= 100_000, "{}", r.reconfig_cycles);
+        assert!(r.reconfig_armed);
         assert!(r.threads.iter().all(|t| t.finish > 0));
+    }
+
+    #[test]
+    fn reconfig_to_current_shape_is_noop() {
+        // 4 → 2 threads: a phased workload with no delayed starters, so a
+        // shape-preserving plan has genuinely nothing to do.
+        let w = build_dbase(4, 2, Scale::ci(), false);
+        let mut m = Machine::build(ArchSpec::Agg { n_d: 4 }, w, 0.5);
+        let (p, d) = (m.agg().p_nodes().len(), m.agg().d_nodes().len());
+        m.set_reconfig(ReconfigPlan::paper(p, d)).unwrap();
+        let r = m.run();
+        assert_eq!(r.reconfig_cycles, 0, "no-op charges nothing");
+        assert!(r.reconfig_armed, "the plan was armed, even if idle");
+        assert_eq!(m.agg().p_nodes().len(), p);
+        assert_eq!(m.agg().d_nodes().len(), d);
     }
 
     #[test]
@@ -854,11 +1114,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no reconfiguration point")]
     fn reconfig_requires_phased_workload() {
         let w = build(AppId::Fft, 2, Scale::ci());
         let mut m = Machine::build(ArchSpec::Agg { n_d: 2 }, w, 0.5);
-        m.set_reconfig(ReconfigPlan::paper(2, 2));
+        let err = m.set_reconfig(ReconfigPlan::paper(2, 2)).unwrap_err();
+        assert_eq!(err, ReconfigError::NoReconfigPoint);
+        assert_eq!(err.to_string(), "workload has no reconfiguration point");
+    }
+
+    #[test]
+    fn reconfig_requires_agg_machine() {
+        let w = build_dbase(2, 4, Scale::ci(), false);
+        let mut m = Machine::build(ArchSpec::Numa, w, 0.5);
+        let err = m.set_reconfig(ReconfigPlan::paper(4, 2)).unwrap_err();
+        assert_eq!(err, ReconfigError::NotAgg);
+        assert_eq!(err.to_string(), "only AGG machines reconfigure");
+    }
+
+    #[test]
+    fn fault_kill_mid_run_completes_on_all_archs() {
+        use pimdsm_faults::{Durability, FaultPlan};
+        for spec in [ArchSpec::Numa, ArchSpec::Coma, ArchSpec::Agg { n_d: 2 }] {
+            let w = build(AppId::Radix, 4, Scale::ci());
+            let mut m = Machine::build(spec, w, 0.75);
+            let victim = match spec {
+                ArchSpec::Agg { .. } => m.agg().p_nodes()[0],
+                _ => 0,
+            };
+            let plan = FaultPlan::new()
+                .kill_at(victim, 5_000)
+                .with_durability(Durability::None);
+            m.set_faults(plan);
+            let r = m.run();
+            assert!(r.total_cycles > 0, "{spec:?}");
+            assert!(r.threads.iter().all(|t| t.finish > 0), "{spec:?}");
+            let rs = r.faults.as_ref().expect("fault accounting present");
+            assert_eq!(rs.kills, 1, "{spec:?}");
+            // The kill fires at the first event-loop step at or after its
+            // trigger cycle; Durability::None discards everything so far.
+            assert!(rs.lost_work_cycles >= 5_000, "{spec:?}");
+            assert!(rs.recovery.count() > 0, "{spec:?}: no recovery samples");
+            m.check_coherence();
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        use pimdsm_faults::{Durability, FaultPlan};
+        let go = || {
+            let w = build(AppId::Radix, 4, Scale::ci());
+            let mut m = Machine::build(ArchSpec::Agg { n_d: 2 }, w, 0.75);
+            let victim = m.agg().p_nodes()[0];
+            let plan = FaultPlan::new()
+                .kill_at(victim, 5_000)
+                .rejoin_at(victim, 400_000)
+                .with_durability(Durability::Checkpoint { interval: 10_000 });
+            m.set_faults(plan);
+            m.run()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.proto.reads_by_level, b.proto.reads_by_level);
+    }
+
+    #[test]
+    fn degrade_and_stall_faults_are_accounted() {
+        use pimdsm_faults::FaultPlan;
+        let w = build(AppId::Radix, 4, Scale::ci());
+        let mut m = Machine::build(ArchSpec::Numa, w, 0.75);
+        m.set_faults(
+            FaultPlan::new()
+                .degrade_at(1_000, 50, 50_000)
+                .stall_at(0, 2_000, 10_000),
+        );
+        let r = m.run();
+        let rs = r.faults.as_ref().expect("fault accounting present");
+        assert!(rs.degraded_cycles > 0, "remote ops inside the window pay");
+        assert_eq!(rs.stall_cycles, 10_000);
+        assert_eq!(rs.kills, 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Run statistics in the shape of the paper's figures.
 
 use pimdsm_engine::Cycle;
+use pimdsm_faults::RecoveryStats;
 use pimdsm_net::NetStats;
 use pimdsm_obs::EpochSeries;
 use pimdsm_proto::{Census, Level, ProtoStats};
@@ -57,6 +58,14 @@ pub struct RunReport {
     pub link_busy: (Cycle, Cycle),
     /// Cycles spent in dynamic reconfiguration (Figure 10-(a)), if any.
     pub reconfig_cycles: Cycle,
+    /// Whether a [`ReconfigPlan`](crate::ReconfigPlan) was armed for this
+    /// run. Distinguishes "reconfigured for free / never reached the
+    /// barrier" (`true`, `reconfig_cycles == 0`) from "no plan at all".
+    pub reconfig_armed: bool,
+    /// Fault-injection and recovery accounting, when a
+    /// [`FaultPlan`](pimdsm_faults::FaultPlan) was attached
+    /// ([`Machine::set_faults`](crate::Machine::set_faults)).
+    pub faults: Option<RecoveryStats>,
     /// Epoch-sampled metric time-series, when sampling was enabled
     /// ([`Machine::sample_epochs`](crate::Machine::sample_epochs)).
     pub epochs: Option<EpochSeries>,
@@ -189,6 +198,14 @@ impl RunReport {
                 .get("reconfig_cycles")
                 .and_then(|x| x.as_u64())
                 .ok_or("missing reconfig_cycles")?,
+            reconfig_armed: matches!(
+                v.get("reconfig_armed"),
+                Some(pimdsm_obs::JsonValue::Bool(true))
+            ),
+            faults: match v.get("faults") {
+                Some(f) => Some(RecoveryStats::from_json(f)?),
+                None => None,
+            },
             epochs: None,
         })
     }
@@ -230,10 +247,14 @@ impl pimdsm_obs::ToJson for RunReport {
                 ]),
             ),
             ("reconfig_cycles", JsonValue::u64(self.reconfig_cycles)),
+            ("reconfig_armed", JsonValue::Bool(self.reconfig_armed)),
             ("memory_time", JsonValue::num(self.memory_time())),
             ("processor_time", JsonValue::num(self.processor_time())),
             ("memory_fraction", JsonValue::num(self.memory_fraction())),
         ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults", f.to_json()));
+        }
         if let Some(e) = &self.epochs {
             fields.push(("epochs", e.to_json()));
         }
@@ -272,6 +293,8 @@ mod tests {
             controller_util: 0.0,
             link_busy: (0, 0),
             reconfig_cycles: 0,
+            reconfig_armed: false,
+            faults: None,
             epochs: None,
         }
     }
@@ -331,6 +354,15 @@ mod tests {
         r.controller_util = 0.125;
         r.link_busy = (1000, 250);
         r.reconfig_cycles = 17;
+        r.reconfig_armed = true;
+        let mut rs = RecoveryStats {
+            kills: 1,
+            pages_rehomed: 4,
+            lines_lost: 2,
+            ..Default::default()
+        };
+        rs.recovery.record(1_500);
+        r.faults = Some(rs);
 
         let rendered = r.to_json().render_pretty();
         let parsed = pimdsm_obs::json::parse(&rendered).expect("parse back");
@@ -345,6 +377,8 @@ mod tests {
         assert_eq!(restored.proto, r.proto);
         assert_eq!(restored.census, r.census);
         assert_eq!(restored.net, r.net);
+        assert!(restored.reconfig_armed);
+        assert_eq!(restored.faults, r.faults);
     }
 
     #[test]

@@ -1,0 +1,546 @@
+//! # pimdsm-faults — deterministic fault injection
+//!
+//! Declarative fault schedules for the PIM-DSM simulator. A [`FaultPlan`]
+//! is plain data — *kill node 3 at cycle 20 000, rejoin it at barrier 2,
+//! degrade the interconnect for 50 000 cycles* — that the machine driver
+//! replays against the simulated cycle clock and barrier sequence. Because
+//! triggers are expressed in simulated time only, a plan is bit-deterministic
+//! by construction: the same plan over the same workload produces the same
+//! event sequence, reports and traces, byte for byte.
+//!
+//! The crate deliberately knows nothing about the protocols. It supplies:
+//!
+//! * the fault vocabulary ([`FaultKind`], [`FaultTrigger`], [`FaultEvent`]),
+//! * the per-run policy knobs ([`Durability`], [`RetryCfg`]),
+//! * the runtime queue the driver pops ([`FaultSchedule`]), and
+//! * the accounting sink every recovery path feeds ([`RecoveryStats`]),
+//!   including a recovery-latency [`Histogram`] for p50/p99 reporting.
+//!
+//! The protocol crates implement what a fault *means* (re-homing pages,
+//! re-electing masters, scrubbing sharer sets); the machine driver decides
+//! *when* to apply one. This split keeps the fault model reusable across
+//! AGG, COMA and NUMA.
+
+#![warn(missing_docs)]
+
+use pimdsm_engine::{Cycle, Histogram};
+use pimdsm_obs::{JsonValue, ToJson};
+
+/// Node identifier, matching the protocol crates' convention.
+pub type NodeId = usize;
+
+/// When a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire at the first event-loop step at or after this simulated cycle.
+    AtCycle(Cycle),
+    /// Fire when the machine releases this global barrier (0-indexed in
+    /// arrival order, matching `ReconfigPlan`'s barrier numbering).
+    AtBarrier(u32),
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node dies instantly: caches, attraction memory and any
+    /// directory/home responsibility it held are lost. Surviving nodes
+    /// re-home its pages and re-elect masters; what data survives depends
+    /// on the run's [`Durability`] policy.
+    Kill {
+        /// The victim node.
+        node: NodeId,
+    },
+    /// A previously killed node comes back cold (empty caches, no pages
+    /// homed at it) and is eligible for compute binding again.
+    Rejoin {
+        /// The returning node.
+        node: NodeId,
+    },
+    /// Uniform interconnect degradation: every remote memory operation
+    /// completing inside the window pays `extra` additional cycles.
+    DegradeLink {
+        /// Extra cycles per remote operation while degraded.
+        extra: Cycle,
+        /// Window length in cycles, starting at the trigger.
+        for_cycles: Cycle,
+    },
+    /// The protocol handler (directory controller) at `node` stalls,
+    /// booking `extra` cycles of occupancy before serving further
+    /// transactions.
+    HandlerStall {
+        /// The stalled controller's node.
+        node: NodeId,
+        /// Cycles of controller occupancy to book.
+        extra: Cycle,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: FaultTrigger,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+/// What survives a node kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Nothing: dirty data on the victim is lost and threads restart the
+    /// current phase's work (lost work = cycles since the run began).
+    #[default]
+    None,
+    /// Epoch checkpointing: work is durable up to the last checkpoint
+    /// boundary, so lost work is only the cycles since then.
+    Checkpoint {
+        /// Checkpoint interval in cycles.
+        interval: Cycle,
+    },
+    /// Page replication: every home/master copy has a replica elsewhere,
+    /// so no line data is lost (`lines_lost` stays 0) and no work is
+    /// discarded; recovery still pays the re-homing traffic.
+    Replication,
+}
+
+impl Durability {
+    /// Work discarded by a kill at `now` under this policy, in cycles.
+    pub fn lost_work(&self, now: Cycle) -> Cycle {
+        match *self {
+            Durability::None => now,
+            Durability::Checkpoint { interval } => {
+                if interval == 0 {
+                    0
+                } else {
+                    now % interval
+                }
+            }
+            Durability::Replication => 0,
+        }
+    }
+
+    /// Stable label used in canonical point strings and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Durability::None => "none",
+            Durability::Checkpoint { .. } => "ckpt",
+            Durability::Replication => "repl",
+        }
+    }
+}
+
+/// Bounded timeout/backoff policy for transactions that hit a page whose
+/// home is still being reconstructed after a kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryCfg {
+    /// Upper bound on the total wait a single transaction will spend
+    /// retrying, in cycles.
+    pub timeout: Cycle,
+    /// Initial backoff between retry probes; doubles each attempt.
+    pub backoff: Cycle,
+    /// Maximum retry probes per transaction.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryCfg {
+    fn default() -> Self {
+        RetryCfg {
+            timeout: 5_000,
+            backoff: 200,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryCfg {
+    /// Wait this transaction spends at `now` for a resource that recovers
+    /// at `recovered_at`, together with the number of retry probes issued.
+    ///
+    /// Probes back off exponentially from [`backoff`](RetryCfg::backoff);
+    /// the wait is capped by both the recovery completion and
+    /// [`timeout`](RetryCfg::timeout). Purely arithmetic — deterministic.
+    pub fn wait_for(&self, now: Cycle, recovered_at: Cycle) -> (Cycle, u32) {
+        if recovered_at <= now {
+            return (0, 0);
+        }
+        let wait = (recovered_at - now).min(self.timeout);
+        let mut probes = 0u32;
+        let mut t = 0;
+        let mut step = self.backoff.max(1);
+        while t < wait && probes < self.max_attempts {
+            probes += 1;
+            t += step;
+            step = step.saturating_mul(2);
+        }
+        (wait, probes)
+    }
+}
+
+/// A complete, declarative fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults, applied in the order listed when several
+    /// share a trigger point.
+    pub events: Vec<FaultEvent>,
+    /// What survives a kill.
+    pub durability: Durability,
+    /// Retry policy for transactions racing a recovery.
+    pub retry: Option<RetryCfg>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a kill of `node` at `cycle`.
+    pub fn kill_at(mut self, node: NodeId, cycle: Cycle) -> Self {
+        self.events.push(FaultEvent {
+            at: FaultTrigger::AtCycle(cycle),
+            kind: FaultKind::Kill { node },
+        });
+        self
+    }
+
+    /// Adds a kill of `node` when barrier `id` releases.
+    pub fn kill_at_barrier(mut self, node: NodeId, id: u32) -> Self {
+        self.events.push(FaultEvent {
+            at: FaultTrigger::AtBarrier(id),
+            kind: FaultKind::Kill { node },
+        });
+        self
+    }
+
+    /// Adds a rejoin of `node` at `cycle`.
+    pub fn rejoin_at(mut self, node: NodeId, cycle: Cycle) -> Self {
+        self.events.push(FaultEvent {
+            at: FaultTrigger::AtCycle(cycle),
+            kind: FaultKind::Rejoin { node },
+        });
+        self
+    }
+
+    /// Adds an interconnect degradation window starting at `cycle`.
+    pub fn degrade_at(mut self, cycle: Cycle, extra: Cycle, for_cycles: Cycle) -> Self {
+        self.events.push(FaultEvent {
+            at: FaultTrigger::AtCycle(cycle),
+            kind: FaultKind::DegradeLink { extra, for_cycles },
+        });
+        self
+    }
+
+    /// Adds a handler stall at `node` at `cycle`.
+    pub fn stall_at(mut self, node: NodeId, cycle: Cycle, extra: Cycle) -> Self {
+        self.events.push(FaultEvent {
+            at: FaultTrigger::AtCycle(cycle),
+            kind: FaultKind::HandlerStall { node, extra },
+        });
+        self
+    }
+
+    /// Sets the durability policy.
+    pub fn with_durability(mut self, d: Durability) -> Self {
+        self.durability = d;
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, r: RetryCfg) -> Self {
+        self.retry = Some(r);
+        self
+    }
+}
+
+/// Runtime queue over a [`FaultPlan`]: the driver polls it from the event
+/// loop (cycle triggers) and the barrier release path (barrier triggers).
+///
+/// Cycle-triggered events are stably sorted by cycle, preserving plan
+/// order among ties, so the pop sequence is a pure function of the plan.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    by_cycle: Vec<(Cycle, FaultKind)>,
+    next: usize,
+    by_barrier: Vec<(u32, FaultKind)>,
+}
+
+impl FaultSchedule {
+    /// Builds the runtime queue from a plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut by_cycle: Vec<(Cycle, FaultKind)> = Vec::new();
+        let mut by_barrier: Vec<(u32, FaultKind)> = Vec::new();
+        for e in &plan.events {
+            match e.at {
+                FaultTrigger::AtCycle(c) => by_cycle.push((c, e.kind)),
+                FaultTrigger::AtBarrier(b) => by_barrier.push((b, e.kind)),
+            }
+        }
+        by_cycle.sort_by_key(|&(c, _)| c);
+        FaultSchedule {
+            by_cycle,
+            next: 0,
+            by_barrier,
+        }
+    }
+
+    /// Earliest still-pending cycle trigger, if any.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.by_cycle.get(self.next).map(|&(c, _)| c)
+    }
+
+    /// Pops every cycle-triggered event due at or before `now`, in order.
+    pub fn due_at_cycle(&mut self, now: Cycle) -> Vec<FaultKind> {
+        let mut out = Vec::new();
+        while let Some(&(c, kind)) = self.by_cycle.get(self.next) {
+            if c > now {
+                break;
+            }
+            out.push(kind);
+            self.next += 1;
+        }
+        out
+    }
+
+    /// Pops every event bound to barrier `id`, in plan order.
+    pub fn due_at_barrier(&mut self, id: u32) -> Vec<FaultKind> {
+        let mut out = Vec::new();
+        self.by_barrier.retain(|&(b, kind)| {
+            if b == id {
+                out.push(kind);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Number of events not yet popped.
+    pub fn pending(&self) -> usize {
+        (self.by_cycle.len() - self.next) + self.by_barrier.len()
+    }
+}
+
+/// Accounting for everything fault injection did to a run.
+///
+/// The machine driver owns one of these per run; the protocol recovery
+/// paths and the fabric's retry path feed it. All counters are integers in
+/// simulated cycles or event counts, so reports carrying them render
+/// identically across runs and job counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Nodes killed.
+    pub kills: u64,
+    /// Nodes rejoined.
+    pub rejoins: u64,
+    /// Pages whose home moved off a dead node.
+    pub pages_rehomed: u64,
+    /// Lines whose master/ownership was re-elected onto a survivor.
+    pub lines_recalled: u64,
+    /// Lines whose only up-to-date copy died with the victim.
+    pub lines_lost: u64,
+    /// Work discarded by kills under the run's durability policy, cycles.
+    pub lost_work_cycles: u64,
+    /// Retry probes issued against recovering pages.
+    pub retries: u64,
+    /// Total cycles transactions spent waiting on recovering pages.
+    pub retry_wait_cycles: u64,
+    /// Cycles of extra latency paid inside link-degradation windows.
+    pub degraded_cycles: u64,
+    /// Cycles of controller occupancy booked by handler stalls.
+    pub stall_cycles: u64,
+    /// Per-page recovery latency (cycles from kill to page usable again).
+    pub recovery: Histogram,
+}
+
+impl RecoveryStats {
+    /// Median per-page recovery latency, rounded to whole cycles.
+    pub fn recovery_p50(&self) -> u64 {
+        self.recovery.percentile(50.0).round() as u64
+    }
+
+    /// 99th-percentile per-page recovery latency, rounded to whole cycles.
+    pub fn recovery_p99(&self) -> u64 {
+        self.recovery.percentile(99.0).round() as u64
+    }
+
+    /// Reconstructs the statistics from the JSON produced by
+    /// [`ToJson::to_json`] — the inverse used by `pimdsm-lab`'s
+    /// content-addressed result cache.
+    pub fn from_json(v: &JsonValue) -> Result<RecoveryStats, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        let h = v
+            .get("recovery")
+            .ok_or_else(|| "missing recovery".to_string())?;
+        let hfield = |key: &str| -> Result<u64, String> {
+            h.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing recovery.{key}"))
+        };
+        let arr = h
+            .get("buckets")
+            .and_then(|x| x.as_arr())
+            .ok_or_else(|| "missing recovery.buckets".to_string())?;
+        if arr.len() != 64 {
+            return Err(format!("recovery.buckets has {} entries", arr.len()));
+        }
+        let mut buckets = [0u64; 64];
+        for (slot, x) in buckets.iter_mut().zip(arr) {
+            *slot = x
+                .as_u64()
+                .ok_or_else(|| "non-integer recovery bucket".to_string())?;
+        }
+        Ok(RecoveryStats {
+            kills: field("kills")?,
+            rejoins: field("rejoins")?,
+            pages_rehomed: field("pages_rehomed")?,
+            lines_recalled: field("lines_recalled")?,
+            lines_lost: field("lines_lost")?,
+            lost_work_cycles: field("lost_work_cycles")?,
+            retries: field("retries")?,
+            retry_wait_cycles: field("retry_wait_cycles")?,
+            degraded_cycles: field("degraded_cycles")?,
+            stall_cycles: field("stall_cycles")?,
+            recovery: Histogram::from_raw(
+                buckets,
+                hfield("count")?,
+                hfield("sum")?,
+                hfield("max")?,
+            ),
+        })
+    }
+}
+
+impl ToJson for RecoveryStats {
+    fn to_json(&self) -> JsonValue {
+        let buckets = JsonValue::Arr(
+            self.recovery
+                .buckets()
+                .iter()
+                .map(|&n| JsonValue::u64(n))
+                .collect(),
+        );
+        JsonValue::obj([
+            ("kills", JsonValue::u64(self.kills)),
+            ("rejoins", JsonValue::u64(self.rejoins)),
+            ("pages_rehomed", JsonValue::u64(self.pages_rehomed)),
+            ("lines_recalled", JsonValue::u64(self.lines_recalled)),
+            ("lines_lost", JsonValue::u64(self.lines_lost)),
+            ("lost_work_cycles", JsonValue::u64(self.lost_work_cycles)),
+            ("retries", JsonValue::u64(self.retries)),
+            ("retry_wait_cycles", JsonValue::u64(self.retry_wait_cycles)),
+            ("degraded_cycles", JsonValue::u64(self.degraded_cycles)),
+            ("stall_cycles", JsonValue::u64(self.stall_cycles)),
+            (
+                "recovery",
+                JsonValue::obj([
+                    ("count", JsonValue::u64(self.recovery.count())),
+                    ("sum", JsonValue::u64(self.recovery.sum())),
+                    ("max", JsonValue::u64(self.recovery.max())),
+                    ("buckets", buckets),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_pops_cycle_events_in_order() {
+        let plan = FaultPlan::new()
+            .rejoin_at(1, 500)
+            .kill_at(1, 100)
+            .stall_at(0, 100, 40);
+        let mut s = FaultSchedule::new(&plan);
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.next_cycle(), Some(100));
+        assert_eq!(s.due_at_cycle(99), vec![]);
+        // Ties at cycle 100 keep plan order: kill before stall.
+        assert_eq!(
+            s.due_at_cycle(100),
+            vec![
+                FaultKind::Kill { node: 1 },
+                FaultKind::HandlerStall { node: 0, extra: 40 }
+            ]
+        );
+        assert_eq!(s.due_at_cycle(10_000), vec![FaultKind::Rejoin { node: 1 }]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn schedule_pops_barrier_events_once() {
+        let plan = FaultPlan::new().kill_at_barrier(2, 1);
+        let mut s = FaultSchedule::new(&plan);
+        assert_eq!(s.due_at_barrier(0), vec![]);
+        assert_eq!(s.due_at_barrier(1), vec![FaultKind::Kill { node: 2 }]);
+        assert_eq!(s.due_at_barrier(1), vec![]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn durability_lost_work() {
+        assert_eq!(Durability::None.lost_work(12_345), 12_345);
+        assert_eq!(
+            Durability::Checkpoint { interval: 1000 }.lost_work(12_345),
+            345
+        );
+        assert_eq!(Durability::Checkpoint { interval: 0 }.lost_work(12_345), 0);
+        assert_eq!(Durability::Replication.lost_work(12_345), 0);
+    }
+
+    #[test]
+    fn retry_wait_is_bounded_and_deterministic() {
+        let cfg = RetryCfg {
+            timeout: 1_000,
+            backoff: 100,
+            max_attempts: 3,
+        };
+        assert_eq!(cfg.wait_for(500, 400), (0, 0));
+        // Recovery 250 cycles out: probes at +100, +300 cover it.
+        assert_eq!(cfg.wait_for(0, 250), (250, 2));
+        // Recovery far out: wait capped by timeout, probes by max_attempts.
+        assert_eq!(cfg.wait_for(0, 50_000), (1_000, 3));
+        // Determinism: same inputs, same answer.
+        assert_eq!(cfg.wait_for(0, 250), cfg.wait_for(0, 250));
+    }
+
+    #[test]
+    fn recovery_stats_json_round_trips() {
+        let mut s = RecoveryStats {
+            kills: 1,
+            rejoins: 1,
+            pages_rehomed: 42,
+            lines_recalled: 17,
+            lines_lost: 3,
+            lost_work_cycles: 9_999,
+            retries: 12,
+            retry_wait_cycles: 2_400,
+            degraded_cycles: 512,
+            stall_cycles: 64,
+            recovery: Histogram::new(),
+        };
+        for v in [100u64, 250, 250, 8_000] {
+            s.recovery.record(v);
+        }
+        let j = s.to_json();
+        let back = RecoveryStats::from_json(&j).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json().render(), j.render());
+        assert!(back.recovery_p50() >= 100);
+        assert!(back.recovery_p99() <= s.recovery.max());
+    }
+
+    #[test]
+    fn recovery_stats_from_json_reports_missing_fields() {
+        let j = JsonValue::obj([("kills", JsonValue::u64(1))]);
+        let err = RecoveryStats::from_json(&j).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+}

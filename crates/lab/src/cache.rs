@@ -155,6 +155,7 @@ mod tests {
                 pressure_pct: 75,
             }),
             scale: Scale::ci(),
+            fault: None,
             label: label.to_string(),
         }
     }

@@ -367,7 +367,13 @@ fn run_suites(names: &[String], opts: &Options) -> ExitCode {
     for suite in &suites {
         let points = suite.points(&ctx);
         let n = points.len();
-        let result = run_sweep(points, cache.as_ref(), &inst, opts.jobs, !opts.quiet);
+        // A suite that renders epoch series (fig-fault) forces sampling
+        // on its own runs; an explicit --epoch from --metrics wins.
+        let mut suite_inst = inst.clone();
+        if suite_inst.epoch.is_none() {
+            suite_inst.epoch = suite.epoch;
+        }
+        let result = run_sweep(points, cache.as_ref(), &suite_inst, opts.jobs, !opts.quiet);
         hits += result.hits;
         misses += result.misses;
 

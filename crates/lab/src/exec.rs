@@ -293,6 +293,7 @@ mod tests {
                     workload: WorkloadSpec::App { app, threads: 2 },
                     machine: MachineSpec::Arch(cfg),
                     scale: Scale::ci(),
+                    fault: None,
                     label: cfg.label(),
                 })
             })

@@ -11,6 +11,7 @@
 //! data, not code.
 
 use pimdsm::{ArchSpec, Machine, ReconfigPlan};
+use pimdsm_faults::{Durability, FaultPlan};
 use pimdsm_mem::CacheCfg;
 use pimdsm_workloads::{build, build_dbase, AppId, Scale};
 
@@ -262,6 +263,53 @@ impl MachineSpec {
     }
 }
 
+/// A declarative fault scenario attached to a point: kill one node at a
+/// fixed cycle, optionally bring it back, under a durability policy.
+///
+/// This is deliberately a narrow slice of [`FaultPlan`] — the slice the
+/// `fig-fault` suite sweeps — kept as plain integers so it serializes
+/// into the canonical cache key like every other spec field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Node to kill.
+    pub kill_node: usize,
+    /// Cycle at (or after) which the kill fires.
+    pub kill_cycle: u64,
+    /// Cycles after the kill at which the node rejoins, if it does.
+    pub rejoin_after: Option<u64>,
+    /// Durability policy charged for lost work.
+    pub durability: Durability,
+}
+
+impl FaultSpec {
+    fn canonical(&self) -> String {
+        let rejoin = match self.rejoin_after {
+            Some(d) => format!("+{d}"),
+            None => "never".to_string(),
+        };
+        let dur = match self.durability {
+            Durability::None => "none".to_string(),
+            Durability::Checkpoint { interval } => format!("ckpt={interval}"),
+            Durability::Replication => "repl".to_string(),
+        };
+        format!(
+            "kill={}@{}:rejoin={rejoin}:dur={dur}",
+            self.kill_node, self.kill_cycle
+        )
+    }
+
+    /// Expands the spec into the runnable [`FaultPlan`].
+    pub fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new()
+            .kill_at(self.kill_node, self.kill_cycle)
+            .with_durability(self.durability);
+        if let Some(after) = self.rejoin_after {
+            plan = plan.rejoin_at(self.kill_node, self.kill_cycle + after);
+        }
+        plan
+    }
+}
+
 /// One fully-specified simulation point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointSpec {
@@ -271,6 +319,8 @@ pub struct PointSpec {
     pub machine: MachineSpec,
     /// Problem-size scaling.
     pub scale: Scale,
+    /// Fault scenario injected into the run, if any.
+    pub fault: Option<FaultSpec>,
     /// Display label attached to the run (part of the report, hence part
     /// of the cache key).
     pub label: String,
@@ -284,15 +334,24 @@ impl PointSpec {
 
     /// The stable canonical form hashed into the cache key. Two specs
     /// producing the same canonical string are the same experiment.
+    ///
+    /// The `|fault=` segment is appended only when a fault scenario is
+    /// attached, so every pre-existing fault-free key is byte-identical
+    /// to what earlier versions produced and warm caches stay warm.
     pub fn canonical(&self) -> String {
-        format!(
+        let mut c = format!(
             "v1|workload={}|machine={}|scale={}/{}|label={}",
             self.workload.canonical(),
             self.machine.canonical(),
             self.scale.size_div,
             self.scale.iter_div,
             self.label,
-        )
+        );
+        if let Some(f) = &self.fault {
+            c.push_str("|fault=");
+            c.push_str(&f.canonical());
+        }
+        c
     }
 
     /// Builds the (not yet run) machine this point describes.
@@ -351,12 +410,17 @@ impl PointSpec {
                         tweak.apply(cfg)
                     });
                 if let Some((p, d)) = reconfig {
-                    m.set_reconfig(ReconfigPlan::paper(p, d));
+                    m.set_reconfig(ReconfigPlan::paper(p, d))
+                        .unwrap_or_else(|e| panic!("{e}"));
                 }
                 m
             }
         };
-        machine.with_label(self.label.clone())
+        let mut machine = machine.with_label(self.label.clone());
+        if let Some(f) = &self.fault {
+            machine.set_faults(f.plan());
+        }
+        machine
     }
 }
 
@@ -413,6 +477,7 @@ mod tests {
                 pressure_pct: 75,
             }),
             scale: Scale::ci(),
+            fault: None,
             label: "1/2AGG75".into(),
         }
     }
@@ -464,6 +529,40 @@ mod tests {
             pressure_pct: 25,
         });
         assert_ne!(base.canonical(), other.canonical());
+
+        let mut other = base.clone();
+        other.fault = Some(FaultSpec {
+            kill_node: 1,
+            kill_cycle: 20_000,
+            rejoin_after: None,
+            durability: Durability::None,
+        });
+        assert_ne!(base.canonical(), other.canonical());
+        let mut third = other.clone();
+        third.fault.as_mut().unwrap().durability = Durability::Checkpoint { interval: 5_000 };
+        assert_ne!(other.canonical(), third.canonical());
+    }
+
+    #[test]
+    fn fault_free_canonical_has_no_fault_segment() {
+        // Old cache entries must stay addressable: a point without a
+        // fault renders the exact pre-fault key shape.
+        assert!(!point().canonical().contains("fault="));
+    }
+
+    #[test]
+    fn faulted_point_runs_and_reports_recovery() {
+        let mut p = point();
+        p.fault = Some(FaultSpec {
+            kill_node: 1,
+            kill_cycle: 5_000,
+            rejoin_after: Some(20_000),
+            durability: Durability::Replication,
+        });
+        let r = p.build_machine().run();
+        let rs = r.faults.expect("faulted run carries recovery stats");
+        assert_eq!(rs.kills, 1);
+        assert_eq!(rs.rejoins, 1);
     }
 
     #[test]

@@ -11,12 +11,14 @@
 use std::fmt::Write as _;
 
 use pimdsm::RunReport;
+use pimdsm_engine::Cycle;
+use pimdsm_faults::Durability;
 use pimdsm_obs::JsonValue;
 use pimdsm_proto::Level;
 use pimdsm_workloads::{build, AppId, Scale, ALL_APPS};
 
 use crate::spec::{
-    fig6_configs, reduced_ratio, Config, MachineSpec, PointSpec, Tweak, WorkloadSpec,
+    fig6_configs, reduced_ratio, Config, FaultSpec, MachineSpec, PointSpec, Tweak, WorkloadSpec,
 };
 
 /// Shared sweep parameters: thread count and problem scale.
@@ -41,6 +43,12 @@ pub struct Suite {
     /// [`RunReport`]s — the tables derive their rows from calibration and
     /// the catalog, so without this they would write no `results/` JSON.
     data: Option<fn(&SuiteCtx) -> JsonValue>,
+    /// Epoch-sampling interval the suite itself requires (`fig-fault`
+    /// plots degraded-throughput time series). Forces instrumented —
+    /// cache-bypassing — runs even without `--metrics`; a cached report
+    /// carries no epoch series, so a suite that renders one can never be
+    /// served from cache.
+    pub epoch: Option<Cycle>,
 }
 
 impl Suite {
@@ -71,6 +79,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: fig6_points,
         render: fig6_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "fig7",
@@ -78,6 +87,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: fig6_points, // same 49 runs; the render differs
         render: fig7_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "fig8",
@@ -85,6 +95,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: fig8_points,
         render: fig8_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "fig9",
@@ -92,6 +103,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: fig9_points,
         render: fig9_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "fig10a",
@@ -99,6 +111,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: fig10a_points,
         render: fig10a_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "fig10b",
@@ -106,6 +119,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: fig10b_points,
         render: fig10b_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "table1",
@@ -113,6 +127,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: no_points,
         render: table1_render,
         data: Some(table1_data),
+        epoch: None,
     },
     Suite {
         name: "table2",
@@ -120,6 +135,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: no_points,
         render: table2_render,
         data: Some(table2_data),
+        epoch: None,
     },
     Suite {
         name: "table3",
@@ -127,6 +143,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: no_points,
         render: table3_render,
         data: Some(table3_data),
+        epoch: None,
     },
     Suite {
         name: "ablation_assoc",
@@ -134,6 +151,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: assoc_points,
         render: assoc_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "ablation_handlers",
@@ -141,6 +159,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: handlers_points,
         render: handlers_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "ablation_onchip",
@@ -148,6 +167,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: onchip_points,
         render: onchip_render,
         data: None,
+        epoch: None,
     },
     Suite {
         name: "ablation_sharedlist",
@@ -155,6 +175,15 @@ pub static ALL_SUITES: &[Suite] = &[
         points: sharedlist_points,
         render: sharedlist_render,
         data: None,
+        epoch: None,
+    },
+    Suite {
+        name: "fig-fault",
+        title: "Fault injection: degraded throughput and recovery across AGG/COMA/NUMA",
+        points: fault_points,
+        render: fault_render,
+        data: None,
+        epoch: Some(FAULT_EPOCH),
     },
     Suite {
         name: "smoke",
@@ -162,6 +191,7 @@ pub static ALL_SUITES: &[Suite] = &[
         points: smoke_points,
         render: smoke_render,
         data: None,
+        epoch: None,
     },
 ];
 
@@ -187,6 +217,7 @@ fn fig6_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                 },
                 machine: MachineSpec::Arch(cfg),
                 scale: ctx.scale,
+                fault: None,
                 label: cfg.label(),
             });
         }
@@ -288,6 +319,7 @@ fn fig8_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                     pressure_pct: pct,
                 }),
                 scale: ctx.scale,
+                fault: None,
                 label: format!("AGG{pct}"),
             });
         }
@@ -370,6 +402,7 @@ fn fig9_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                         pressure_pct: 75,
                     },
                     scale: ctx.scale,
+                    fault: None,
                     label: format!("{p}P&{d}D"),
                 });
             }
@@ -439,6 +472,7 @@ fn fig10a_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
             },
             machine: custom(16, None),
             scale: ctx.scale,
+            fault: None,
             label: "static 16P&16D".into(),
         },
         PointSpec {
@@ -449,6 +483,7 @@ fn fig10a_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
             },
             machine: custom(4, None),
             scale: ctx.scale,
+            fault: None,
             label: "static 28P&4D".into(),
         },
         PointSpec {
@@ -459,6 +494,7 @@ fn fig10a_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
             },
             machine: custom(16, Some((28, 4))),
             scale: ctx.scale,
+            fault: None,
             label: "dynamic 16&16->28&4".into(),
         },
     ]
@@ -532,6 +568,7 @@ fn fig10b_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                     reconfig: None,
                 },
                 scale: ctx.scale,
+                fault: None,
                 label: format!("{p}P&{d}D {tag}"),
             });
         }
@@ -777,6 +814,7 @@ fn assoc_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                 reconfig: None,
             },
             scale: ctx.scale,
+            fault: None,
             label: label.to_string(),
         })
         .collect()
@@ -823,6 +861,7 @@ fn handlers_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                 reconfig: None,
             },
             scale: ctx.scale,
+            fault: None,
             label: format!("{:.1}x", milli as f64 / 1000.0),
         })
         .collect()
@@ -874,6 +913,7 @@ fn onchip_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                 reconfig: None,
             },
             scale: ctx.scale,
+            fault: None,
             label: format!("{pct}% on-chip"),
         })
         .collect()
@@ -928,6 +968,7 @@ fn sharedlist_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                 reconfig: None,
             },
             scale: ctx.scale,
+            fault: None,
             label: label.to_string(),
         })
         .collect()
@@ -965,6 +1006,158 @@ fn sharedlist_render(_: &SuiteCtx, reports: &[&RunReport]) -> String {
     out
 }
 
+// ------------------------------------------------------------- fig-fault
+
+/// Epoch-sampling interval of the fault suite: fine enough that the
+/// kill, the degraded window and the recovery each span several epochs.
+const FAULT_EPOCH: Cycle = 5_000;
+
+/// Cycle at (or after) which the victim dies. Chosen inside the steady
+/// state of the CI-scale runs so every architecture has warmed caches
+/// and outstanding remote traffic when the node disappears.
+const FAULT_KILL_CYCLE: u64 = 20_000;
+
+/// Cycles after the kill at which the rejoin scenario brings the victim
+/// back as a compute node.
+const FAULT_REJOIN_AFTER: u64 = 20_000;
+
+/// Checkpoint interval of the `ckpt` durability scenario.
+const FAULT_CKPT_INTERVAL: u64 = 10_000;
+
+/// The three machine configurations the fault suite compares.
+const FAULT_ARCHS: [Config; 3] = [
+    Config::Numa,
+    Config::Coma { pressure_pct: 75 },
+    Config::Agg {
+        ratio: 1,
+        pressure_pct: 75,
+    },
+];
+
+/// The five scenarios per architecture: the fault-free baseline, a kill
+/// under each durability policy, and a kill followed by a rejoin.
+fn fault_scenarios() -> [(&'static str, Option<FaultSpec>); 5] {
+    let kill = |durability, rejoin_after| FaultSpec {
+        kill_node: 1,
+        kill_cycle: FAULT_KILL_CYCLE,
+        rejoin_after,
+        durability,
+    };
+    [
+        ("base", None),
+        ("kill", Some(kill(Durability::None, None))),
+        (
+            "kill+ckpt",
+            Some(kill(
+                Durability::Checkpoint {
+                    interval: FAULT_CKPT_INTERVAL,
+                },
+                None,
+            )),
+        ),
+        ("kill+repl", Some(kill(Durability::Replication, None))),
+        (
+            "kill+rejoin",
+            Some(kill(Durability::None, Some(FAULT_REJOIN_AFTER))),
+        ),
+    ]
+}
+
+fn fault_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
+    let mut points = Vec::new();
+    for cfg in FAULT_ARCHS {
+        for (tag, fault) in fault_scenarios() {
+            points.push(PointSpec {
+                workload: WorkloadSpec::App {
+                    app: AppId::Radix,
+                    threads: ctx.threads,
+                },
+                machine: MachineSpec::Arch(cfg),
+                scale: ctx.scale,
+                fault,
+                label: format!("{} {tag}", cfg.label()),
+            });
+        }
+    }
+    points
+}
+
+fn fault_render(_: &SuiteCtx, reports: &[&RunReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fault injection: kill node 1 at cycle {FAULT_KILL_CYCLE} (Radix, 75% pressure)"
+    );
+    let _ = writeln!(
+        out,
+        "slowdown is vs the fault-free baseline of the same architecture\n"
+    );
+    let mut it = reports.iter();
+    for cfg in FAULT_ARCHS {
+        let _ = writeln!(out, "== {} ==", cfg.label());
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12} {:>9} {:>9} {:>7} {:>7} {:>10} {:>8} {:>8}",
+            "scenario",
+            "cycles",
+            "slowdown",
+            "lostwork",
+            "rehome",
+            "lost",
+            "recalled",
+            "rec p50",
+            "rec p99"
+        );
+        let mut base: Option<u64> = None;
+        for (tag, _) in fault_scenarios() {
+            let r = it.next().expect("report per scenario");
+            let b = *base.get_or_insert(r.total_cycles);
+            let _ = write!(
+                out,
+                "{:<18} {:>12} {:>8.3}x",
+                tag,
+                r.total_cycles,
+                r.total_cycles as f64 / b as f64
+            );
+            match &r.faults {
+                Some(f) => {
+                    let _ = writeln!(
+                        out,
+                        " {:>9} {:>7} {:>7} {:>10} {:>8} {:>8}",
+                        f.lost_work_cycles,
+                        f.pages_rehomed,
+                        f.lines_lost,
+                        f.lines_recalled,
+                        f.recovery_p50(),
+                        f.recovery_p99()
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        " {:>9} {:>7} {:>7} {:>10} {:>8} {:>8}",
+                        "-", "-", "-", "-", "-", "-"
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "(recovery columns are cycles per scrubbed/re-homed page, p50/p99 of the"
+    );
+    let _ = writeln!(
+        out,
+        " per-page recovery histogram; the results JSON carries {FAULT_EPOCH}-cycle"
+    );
+    let _ = writeln!(
+        out,
+        " epoch series for the degraded-throughput time-series plot)"
+    );
+    out
+}
+
 // ----------------------------------------------------------------- smoke
 
 /// The CI smoke matrix: 2 apps x 2 configs — small enough for a pull
@@ -986,6 +1179,7 @@ fn smoke_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
                 },
                 machine: MachineSpec::Arch(cfg),
                 scale: ctx.scale,
+                fault: None,
                 label: cfg.label(),
             });
         }
@@ -1020,8 +1214,8 @@ mod tests {
         }
         assert_eq!(
             ALL_SUITES.len(),
-            14,
-            "13 figure/table suites plus the smoke suite"
+            15,
+            "14 figure/table suites plus the smoke suite"
         );
         assert!(find("no-such-suite").is_none());
     }
@@ -1037,6 +1231,7 @@ mod tests {
         assert_eq!(find("fig10a").unwrap().points(&ctx).len(), 3);
         assert_eq!(find("fig10b").unwrap().points(&ctx).len(), 6);
         assert_eq!(find("table1").unwrap().points(&ctx).len(), 0);
+        assert_eq!(find("fig-fault").unwrap().points(&ctx).len(), 15);
         assert_eq!(find("smoke").unwrap().points(&ctx).len(), 4);
     }
 
@@ -1095,6 +1290,41 @@ mod tests {
         let refs: Vec<&RunReport> = reports.iter().collect();
         let text = suite.render(&ctx, &refs);
         assert!(text.contains("NUMA") && text.contains("1/1AGG75"), "{text}");
+    }
+
+    #[test]
+    fn only_the_fault_suite_forces_epoch_sampling() {
+        for s in ALL_SUITES {
+            if s.name == "fig-fault" {
+                assert_eq!(s.epoch, Some(FAULT_EPOCH));
+            } else {
+                assert!(s.epoch.is_none(), "{} must not bypass the cache", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_suite_runs_and_renders() {
+        let ctx = ctx();
+        let suite = find("fig-fault").unwrap();
+        let points = suite.points(&ctx);
+        assert_eq!(points[0].fault, None, "first scenario is the baseline");
+        let canonicals: std::collections::BTreeSet<String> =
+            points.iter().map(|p| p.canonical()).collect();
+        assert_eq!(canonicals.len(), points.len(), "every point is distinct");
+        let reports: Vec<_> = points.iter().map(|p| p.build_machine().run()).collect();
+        let refs: Vec<&RunReport> = reports.iter().collect();
+        for (p, r) in points.iter().zip(&refs) {
+            assert_eq!(p.fault.is_some(), r.faults.is_some(), "{}", p.key());
+            if let Some(f) = &r.faults {
+                assert_eq!(f.kills, 1, "{}", p.key());
+            }
+        }
+        let text = suite.render(&ctx, &refs);
+        assert!(
+            text.contains("== NUMA ==") && text.contains("kill+repl"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -36,7 +36,15 @@ pub use rules::RULES;
 use scan::SourceFile;
 
 /// Crates whose `src/` is simulation path for rule scoping.
-pub const SIM_CRATES: &[&str] = &["engine", "mem", "net", "proto", "core", "workloads"];
+pub const SIM_CRATES: &[&str] = &[
+    "engine",
+    "faults",
+    "mem",
+    "net",
+    "proto",
+    "core",
+    "workloads",
+];
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]

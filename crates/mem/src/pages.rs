@@ -120,6 +120,26 @@ impl PageTable {
             .collect()
     }
 
+    /// Evacuates every page homed at `victim`, choosing each page's new
+    /// home via `choose`. Returns the evacuated `(page, new_home)` pairs in
+    /// ascending page order — the deterministic sweep order crash recovery
+    /// re-homes in.
+    pub fn evacuate(
+        &mut self,
+        victim: NodeId,
+        mut choose: impl FnMut(Page) -> NodeId,
+    ) -> Vec<(Page, NodeId)> {
+        let pages = self.pages_homed_at(victim);
+        pages
+            .into_iter()
+            .map(|p| {
+                let nh = choose(p);
+                self.reassign(p, nh);
+                (p, nh)
+            })
+            .collect()
+    }
+
     /// Total mapped pages.
     pub fn len(&self) -> usize {
         self.homes.len()
@@ -186,6 +206,21 @@ mod tests {
         let at0 = pt.pages_homed_at(0);
         assert_eq!(at0, vec![1, 3]);
         assert_eq!(pt.len(), 3);
+    }
+
+    #[test]
+    fn evacuate_rehomes_every_page_in_order() {
+        let mut pt = PageTable::new(12);
+        for &p in &[9u64, 2, 17] {
+            pt.home_or_assign(p, || 0);
+        }
+        pt.home_or_assign(5, || 1);
+        let moved = pt.evacuate(0, |p| 1 + (p as usize % 2));
+        assert_eq!(moved, vec![(2, 1), (9, 2), (17, 2)]);
+        assert_eq!(pt.pages_at(0), 0);
+        assert_eq!(pt.home(9), Some(2));
+        assert_eq!(pt.pages_at(1), 2);
+        assert!(pt.evacuate(0, |_| 1).is_empty());
     }
 
     #[test]

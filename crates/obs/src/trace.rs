@@ -39,13 +39,16 @@ pub mod registry {
         "am.pageout",
         "am.swap",
         "machine.barrier",
+        "machine.fault",
         "machine.reconfig",
+        "machine.recovery",
         "net.link",
         "net.local",
         "net.msg",
         "proto.disk",
         "proto.handler",
         "proto.read",
+        "proto.retry",
         "proto.write",
     ];
 
@@ -57,15 +60,21 @@ pub mod registry {
         "ReadEx",
         "WriteBack",
         "barrier",
+        "degrade",
         "deliver",
         "fault",
         "hit",
         "inject",
+        "kill",
         "local",
         "miss",
         "pageout",
         "read.remote",
         "reconfig",
+        "recovery",
+        "rejoin",
+        "retry",
+        "stall",
         "swap",
         "write.remote",
         "xfer",

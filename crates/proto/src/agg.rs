@@ -22,9 +22,10 @@
 //! so every cycle is attributed to a latency component.
 
 use pimdsm_engine::{Cycle, ServerGrant};
-use pimdsm_mem::{line_of, CacheCfg, Line};
+use pimdsm_faults::{Durability, RecoveryStats};
+use pimdsm_mem::{line_of, CacheCfg, Line, Page};
 use pimdsm_net::{Mesh, NetCfg, Network};
-use pimdsm_obs::breakdown::{DRAM, HANDLER, NETWORK};
+use pimdsm_obs::breakdown::{DRAM, HANDLER, NETWORK, QUEUE};
 use pimdsm_obs::{trace::track, EpochProbe};
 
 use crate::common::{
@@ -490,6 +491,7 @@ impl AggSystem {
         self.fab.am_miss(node, line, tx.at());
 
         let home = self.home_of(line, node);
+        self.await_recovery(&mut tx, node, line);
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();
         let t1 = tx.send(&mut self.fab, node, home, ctrl);
@@ -614,6 +616,7 @@ impl AggSystem {
         }
 
         let home = self.home_of(line, node);
+        self.await_recovery(&mut tx, node, line);
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();
         self.fab.stats.remote_writes += 1;
@@ -882,6 +885,224 @@ impl AggSystem {
             .map(|&d| self.dstore_ref(d).stats().page_outs)
             .sum()
     }
+
+    /// Pays the bounded retry wait if `line`'s page is mid-recovery.
+    fn await_recovery(&mut self, tx: &mut Txn, node: NodeId, line: Line) {
+        let page = self.fab.page_of(line);
+        let w = self.fab.retry_wait(node, page, tx.at());
+        if w > 0 {
+            let resume = tx.at() + w;
+            tx.to(QUEUE, resume);
+        }
+    }
+
+    /// Bulk line-transfer cycles during recovery sweeps (same four-link
+    /// DMA streaming model as reconfiguration migration).
+    fn recovery_line_transfer(&self) -> Cycle {
+        self.fab
+            .line_bytes()
+            .div_ceil(self.cfg.net.bytes_per_cycle * 4)
+    }
+
+    /// Kill of a P-node: its caches and attraction memory vanish, so
+    /// every directory entry naming it is scrubbed — sharer bits dropped,
+    /// mastership re-elected onto a surviving sharer, dirty ownership
+    /// either restored from a replica or written off to disk as lost.
+    fn kill_p(
+        &mut self,
+        victim: NodeId,
+        now: Cycle,
+        durability: Durability,
+        rs: &mut RecoveryStats,
+    ) -> Cycle {
+        self.p_list.retain(|&p| p != victim);
+        self.roles[victim] = Role::P(Box::new(Self::new_pstore(&self.cfg)));
+        self.fab.dead.insert(victim);
+
+        let line_transfer = self.recovery_line_transfer();
+        let mut t = now;
+        let d_list = self.d_list.clone();
+        for d in d_list {
+            let affected: Vec<Line> = self
+                .dstore_ref(d)
+                .entries()
+                .filter(|(_, e)| {
+                    e.owner == Some(victim)
+                        || e.sharers.contains(victim)
+                        || e.master == Master::Node(victim)
+                })
+                .map(|(l, _)| l)
+                .collect();
+            let mut touched_pages: Vec<(Page, u64)> = Vec::new();
+            for line in affected {
+                let mut e = self
+                    .dstore(d)
+                    .evict_entry(line)
+                    .expect("affected entry must exist");
+                if e.owner == Some(victim) {
+                    // The only up-to-date copy was dirty at the victim.
+                    e.owner = None;
+                    e.sharers.clear();
+                    e.master = Master::Home;
+                    if durability == Durability::Replication {
+                        // The replica refreshes the home copy if a Data
+                        // slot is free; otherwise it rests on disk.
+                        e.in_mem = true;
+                        if !self.dstore(d).install_entry(line, e) {
+                            e.in_mem = false;
+                            e.paged_out = true;
+                            assert!(self.dstore(d).install_entry(line, e));
+                        }
+                    } else {
+                        e.paged_out = true;
+                        rs.lines_lost += 1;
+                        assert!(self.dstore(d).install_entry(line, e));
+                    }
+                } else {
+                    e.sharers.remove(victim);
+                    if e.master == Master::Node(victim) {
+                        if let Some(s) = e.sharers.first() {
+                            // Re-elect mastership onto a surviving sharer.
+                            e.master = Master::Node(s);
+                            if let Some(st) = self.pstore(s).am.peek_mut(line) {
+                                *st = AmState::SharedMaster;
+                            }
+                            rs.lines_recalled += 1;
+                        } else if e.in_mem {
+                            e.master = Master::Home;
+                        } else if durability == Durability::Replication {
+                            e.master = Master::Home;
+                            e.paged_out = true;
+                        } else {
+                            e.master = Master::Home;
+                            e.paged_out = true;
+                            rs.lines_lost += 1;
+                        }
+                    }
+                    assert!(self.dstore(d).install_entry(line, e));
+                }
+                let page = self.fab.page_of(line);
+                match touched_pages.iter_mut().find(|(p, _)| *p == page) {
+                    Some((_, n)) => *n += 1,
+                    None => touched_pages.push((page, 1)),
+                }
+            }
+            // The home walks each affected page's directory once; pages
+            // become usable again as their sweep completes.
+            for (page, lines) in touched_pages {
+                t += self.fab.lat.am_tag_check + lines * line_transfer;
+                self.fab.mark_recovering(page, t);
+                rs.recovery.record(t - now);
+            }
+        }
+
+        // Reconfiguration under failure (Section 2.3 applied to a crash):
+        // restore compute capacity by converting a D-node into a P-node,
+        // provided the directory set can spare one.
+        if self.d_list.len() > 1 {
+            let drafted = *self.d_list.last().expect("nonempty");
+            let drafted_pages = self.fab.pages.pages_homed_at(drafted);
+            let (t_conv, pages, lines) = self.convert_d_to_p(drafted, t);
+            for page in drafted_pages {
+                self.fab.mark_recovering(page, t_conv);
+                rs.recovery.record(t_conv - now);
+            }
+            rs.pages_rehomed += pages;
+            rs.lines_recalled += lines;
+            t = t_conv;
+        }
+        t
+    }
+
+    /// Kill of a D-node: the pages it was home to are re-homed across the
+    /// surviving D-nodes, reconstructing each directory entry from what
+    /// the surviving P-nodes still hold. Home copies and D-node-only data
+    /// die with the victim unless replication covers them.
+    fn kill_d(
+        &mut self,
+        victim: NodeId,
+        now: Cycle,
+        durability: Durability,
+        rs: &mut RecoveryStats,
+    ) -> Cycle {
+        assert!(
+            self.d_list.len() > 1,
+            "cannot kill the only D-node {victim}"
+        );
+        self.fab.dead.insert(victim);
+        let targets: Vec<NodeId> = self
+            .d_list
+            .iter()
+            .copied()
+            .filter(|&d| d != victim)
+            .collect();
+        let pages = self.fab.pages.pages_homed_at(victim);
+        let lpp = self.dstore_ref(victim).cfg().lines_per_page;
+        let line_transfer = self.recovery_line_transfer();
+        let mut t = now;
+        for (i, &page) in pages.iter().enumerate() {
+            let nh = targets[i % targets.len()];
+            let cold = self.dstore_ref(victim).is_cold_page(page);
+            self.fab.pages.reassign(page, nh);
+            self.dstore(victim).unmap_page(page);
+            self.dstore(nh).map_page(page);
+            if cold {
+                self.dstore(nh).mark_page_cold(page);
+            }
+            let page_start = t;
+            let first = page * lpp;
+            let mut touched = 0u64;
+            for line in first..first + lpp {
+                let Some(mut e) = self.dstore(victim).evict_entry(line) else {
+                    continue;
+                };
+                touched += 1;
+                if e.paged_out || e.owner.is_some() {
+                    // Disk copies and dirty lines at live P-nodes survive
+                    // untouched; only the directory entry moves.
+                    if e.owner.is_some() {
+                        rs.lines_recalled += 1;
+                    }
+                    assert!(self.dstore(nh).install_entry(line, e));
+                } else if !e.sharers.is_empty() {
+                    // Any home copy died with the victim's memory.
+                    e.in_mem = false;
+                    if e.master == Master::Home {
+                        let s = e.sharers.first().expect("nonempty");
+                        e.master = Master::Node(s);
+                        if let Some(st) = self.pstore(s).am.peek_mut(line) {
+                            *st = AmState::SharedMaster;
+                        }
+                    }
+                    rs.lines_recalled += 1;
+                    assert!(self.dstore(nh).install_entry(line, e));
+                } else if e.in_mem {
+                    // D-node-only data: gone unless a replica exists.
+                    if durability == Durability::Replication {
+                        while !self.dstore(nh).install_entry(line, e) {
+                            t = self.page_out(nh, t);
+                        }
+                        t += line_transfer;
+                    } else {
+                        e.in_mem = false;
+                        e.paged_out = true;
+                        rs.lines_lost += 1;
+                        assert!(self.dstore(nh).install_entry(line, e));
+                    }
+                } else {
+                    // Virgin entry: nothing to reconstruct.
+                    assert!(self.dstore(nh).install_entry(line, e));
+                }
+            }
+            t = t.max(page_start) + self.fab.lat.am_tag_check + touched * line_transfer;
+            self.fab.mark_recovering(page, t);
+            rs.recovery.record(t - now);
+        }
+        rs.pages_rehomed += pages.len() as u64;
+        self.d_list.retain(|&d| d != victim);
+        self.roles[victim] = Role::D(Box::new(DNode::new(self.cfg.dnode)));
+        t
+    }
 }
 
 impl MemSystem for AggSystem {
@@ -926,6 +1147,46 @@ impl MemSystem for AggSystem {
 
     fn compute_nodes(&self) -> Vec<NodeId> {
         self.p_list.clone()
+    }
+
+    fn apply_kill(
+        &mut self,
+        node: NodeId,
+        now: Cycle,
+        durability: Durability,
+        rs: &mut RecoveryStats,
+    ) -> Cycle {
+        assert!(!self.fab.dead.contains(node), "node {node} is already dead");
+        let done = match &self.roles[node] {
+            Role::P(_) => self.kill_p(node, now, durability, rs),
+            Role::D(_) => self.kill_d(node, now, durability, rs),
+        };
+        #[cfg(feature = "coherence-oracle")]
+        self.check_coherence();
+        done
+    }
+
+    fn apply_rejoin(&mut self, node: NodeId, now: Cycle) -> Cycle {
+        assert!(self.fab.dead.contains(node), "node {node} is not dead");
+        self.fab.dead.remove(node);
+        match &self.roles[node] {
+            Role::P(_) => {
+                self.p_list.push(node);
+                self.p_list.sort_unstable();
+            }
+            Role::D(_) => {
+                self.d_list.push(node);
+                self.d_list.sort_unstable();
+            }
+        }
+        // The returning node cold-starts from disk-resident state.
+        now + self.fab.lat.disk
+    }
+
+    fn stall_controller(&mut self, node: NodeId, now: Cycle, extra: Cycle) {
+        if let Role::D(dn) = &mut self.roles[node] {
+            dn.server.occupy(now, extra);
+        }
     }
 
     fn census(&self) -> Census {

@@ -19,9 +19,10 @@
 use std::collections::BTreeMap;
 
 use pimdsm_engine::{Cycle, Server, ServerGrant};
+use pimdsm_faults::{Durability, RecoveryStats};
 use pimdsm_mem::{line_of, CacheCfg, Line};
 use pimdsm_net::{Mesh, NetCfg, Network};
-use pimdsm_obs::breakdown::NETWORK;
+use pimdsm_obs::breakdown::{NETWORK, QUEUE};
 
 use crate::common::{
     Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
@@ -340,12 +341,12 @@ impl ComaSystem {
 
         let mut candidates: Vec<NodeId> = Vec::with_capacity(self.cfg.nodes + 1);
         for c in [provider, home] {
-            if c != node && !candidates.contains(&c) {
+            if c != node && !candidates.contains(&c) && !self.fab.dead.contains(c) {
                 candidates.push(c);
             }
         }
         let mut others: Vec<NodeId> = (0..self.cfg.nodes)
-            .filter(|&c| c != node && !candidates.contains(&c))
+            .filter(|&c| c != node && !candidates.contains(&c) && !self.fab.dead.contains(c))
             .collect();
         others.sort_by_key(|&c| (self.fab.net.hops(node, c), c));
         candidates.extend(others);
@@ -459,8 +460,19 @@ impl ComaSystem {
     /// The invalidation round of an ownership upgrade: directory mutation,
     /// `ReadExclusive` dispatch at the home, sharer fan-out, and (for a
     /// remote home) the ownership grant back to the writer.
+    /// Pays the bounded retry wait if `line`'s page is mid-recovery.
+    fn await_recovery(&mut self, tx: &mut Txn, node: NodeId, line: Line) {
+        let page = self.fab.page_of(line);
+        let w = self.fab.retry_wait(node, page, tx.at());
+        if w > 0 {
+            let resume = tx.at() + w;
+            tx.to(QUEUE, resume);
+        }
+    }
+
     fn upgrade_round(&mut self, tx: &mut Txn, node: NodeId, line: Line) -> Level {
         let home = self.home_of(line, node);
+        self.await_recovery(tx, node, line);
         if std::mem::take(&mut self.dir.entry(line).or_default().on_disk) {
             self.purge_stale(node, line);
         }
@@ -509,6 +521,7 @@ impl ComaSystem {
         self.fab.am_miss(node, line, tx.at());
 
         let home = self.home_of(line, node);
+        self.await_recovery(&mut tx, node, line);
         let e = self.dir.get(&line).copied().unwrap_or_default();
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();
@@ -626,6 +639,7 @@ impl ComaSystem {
 
         // Full read-exclusive: fetch data and invalidate everyone.
         let home = self.home_of(line, node);
+        self.await_recovery(&mut tx, node, line);
         let e = self.dir.get(&line).copied().unwrap_or_default();
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();
@@ -724,7 +738,96 @@ impl MemSystem for ComaSystem {
     }
 
     fn compute_nodes(&self) -> Vec<NodeId> {
-        (0..self.cfg.nodes).collect()
+        (0..self.cfg.nodes)
+            .filter(|&n| !self.fab.dead.contains(n))
+            .collect()
+    }
+
+    fn apply_kill(
+        &mut self,
+        node: NodeId,
+        now: Cycle,
+        durability: Durability,
+        rs: &mut RecoveryStats,
+    ) -> Cycle {
+        assert!(!self.fab.dead.contains(node), "node {node} is already dead");
+        self.fab.dead.insert(node);
+        let survivors: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&n| !self.fab.dead.contains(n))
+            .collect();
+        assert!(!survivors.is_empty(), "cannot kill the last COMA node");
+        // Wipe the victim's caches and attraction memory.
+        self.nodes[node] = PNodeStore::calibrated(
+            self.cfg.l1,
+            self.cfg.l2,
+            self.cfg.am,
+            self.cfg.onchip_lines as usize,
+            &self.cfg.lat,
+            self.cfg.mem_bytes_per_cycle,
+        );
+        // Scrub every directory entry naming the victim: re-elect
+        // mastership onto a surviving sharer, write dirty data off to
+        // disk-resident state when no copy survives.
+        let lines: Vec<Line> = self.dir.keys().copied().collect();
+        for line in lines {
+            let e = self.dir.get_mut(&line).expect("swept key");
+            if e.owner == Some(node) {
+                e.owner = None;
+                e.master = None;
+                e.sharers.clear();
+                e.on_disk = true;
+                if durability == Durability::Replication {
+                    rs.lines_recalled += 1;
+                } else {
+                    rs.lines_lost += 1;
+                }
+            } else if e.sharers.remove(node) && e.master == Some(node) {
+                if let Some(s) = e.sharers.first() {
+                    e.master = Some(s);
+                    rs.lines_recalled += 1;
+                    if let Some(st) = self.nodes[s].am.peek_mut(line) {
+                        *st = AmState::SharedMaster;
+                    }
+                } else {
+                    e.master = None;
+                    e.on_disk = true;
+                    if durability == Durability::Replication {
+                        rs.lines_recalled += 1;
+                    } else {
+                        rs.lines_lost += 1;
+                    }
+                }
+            }
+        }
+        // Re-home the victim's pages across the survivors (directory
+        // state only — flat COMA homes hold no data).
+        let moved = self
+            .fab
+            .pages
+            .evacuate(node, |p| survivors[p as usize % survivors.len()]);
+        rs.pages_rehomed += moved.len() as u64;
+        let lpp = self.fab.lines_per_page();
+        let mut t = now;
+        for (page, _nh) in moved {
+            // The new home rebuilds the page's directory entries by
+            // probing the surviving memories, one tag check per line.
+            t += self.fab.lat.am_tag_check + lpp;
+            self.fab.mark_recovering(page, t);
+            rs.recovery.record(t - now);
+        }
+        #[cfg(feature = "coherence-oracle")]
+        self.check_coherence();
+        t
+    }
+
+    fn apply_rejoin(&mut self, node: NodeId, now: Cycle) -> Cycle {
+        assert!(self.fab.dead.contains(node), "node {node} is not dead");
+        self.fab.dead.remove(node);
+        now + self.fab.lat.disk
+    }
+
+    fn stall_controller(&mut self, node: NodeId, now: Cycle, extra: Cycle) {
+        self.ctrls[node].occupy(now, extra);
     }
 
     fn census(&self) -> Census {

@@ -14,12 +14,15 @@
 //! these in transaction order with explicit cycle arguments, exactly as
 //! the protocol walks do.
 
+use std::collections::BTreeMap;
+
 use pimdsm_engine::{Cycle, Server, ServerGrant};
+use pimdsm_faults::RetryCfg;
 use pimdsm_mem::{Line, Page, PageTable};
 use pimdsm_net::Network;
 use pimdsm_obs::{trace::track, EpochProbe, Tracer};
 
-use crate::common::{HandlerCosts, HandlerKind, LatencyCfg, MsgSize, NodeId, ProtoStats};
+use crate::common::{HandlerCosts, HandlerKind, LatencyCfg, MsgSize, NodeId, NodeSet, ProtoStats};
 
 /// Display name for a handler span.
 fn handler_name(kind: HandlerKind) -> &'static str {
@@ -53,6 +56,19 @@ pub struct Fabric {
     pub stats: ProtoStats,
     /// Trace sink (disabled by default).
     pub tracer: Tracer,
+    /// Nodes currently dead (fault injection). Dead nodes take no new
+    /// pages, serve no requests, and are excluded from compute binding.
+    pub dead: NodeSet,
+    /// Pages whose home is mid-reconstruction after a kill, mapped to the
+    /// cycle their recovery completes. Transactions that touch one pay a
+    /// bounded retry wait (see [`Fabric::retry_wait`]).
+    pub recovering: BTreeMap<Page, Cycle>,
+    /// Retry/backoff policy for transactions racing a recovery.
+    pub retry: RetryCfg,
+    /// Retry probes issued so far (drained into `RecoveryStats`).
+    pub retries: u64,
+    /// Total cycles spent in retry waits (drained into `RecoveryStats`).
+    pub retry_wait_cycles: Cycle,
 }
 
 impl Fabric {
@@ -75,6 +91,11 @@ impl Fabric {
             net,
             stats: ProtoStats::default(),
             tracer: Tracer::disabled(),
+            dead: NodeSet::new(),
+            recovering: BTreeMap::new(),
+            retry: RetryCfg::default(),
+            retries: 0,
+            retry_wait_cycles: 0,
         }
     }
 
@@ -128,14 +149,48 @@ impl Fabric {
         if let Some(home) = self.pages.home(page) {
             return home;
         }
-        let home = if self.pages.pages_at(toucher) < cap_pages {
+        let home = if self.pages.pages_at(toucher) < cap_pages && !self.dead.contains(toucher) {
             toucher
         } else {
             (0..n_nodes)
+                .filter(|&n| !self.dead.contains(n))
                 .min_by_key(|&n| (self.pages.pages_at(n), n))
-                .expect("machine has at least one node")
+                .expect("machine has at least one live node")
         };
         self.pages.home_or_assign(page, || home)
+    }
+
+    /// Marks `page` as recovering until `until` (its home is being
+    /// reconstructed after a kill).
+    pub fn mark_recovering(&mut self, page: Page, until: Cycle) {
+        let slot = self.recovering.entry(page).or_insert(until);
+        *slot = (*slot).max(until);
+    }
+
+    /// Retry wait a transaction from `node` pays at `now` if `page` is
+    /// still recovering: bounded timeout/backoff per the fabric's
+    /// [`RetryCfg`]. Returns 0 (and clears the marker) once the page's
+    /// recovery has completed.
+    pub fn retry_wait(&mut self, node: NodeId, page: Page, now: Cycle) -> Cycle {
+        let Some(&recovered_at) = self.recovering.get(&page) else {
+            return 0;
+        };
+        if recovered_at <= now {
+            self.recovering.remove(&page);
+            return 0;
+        }
+        let (wait, probes) = self.retry.wait_for(now, recovered_at);
+        self.retries += probes as u64;
+        self.retry_wait_cycles += wait;
+        self.tracer.instant(
+            track::PROTO,
+            node as u32,
+            "retry",
+            "proto.retry",
+            now,
+            &[("page", page), ("wait", wait), ("probes", probes as u64)],
+        );
+        wait
     }
 
     /// Threads a tracer through the fabric and its interconnect.

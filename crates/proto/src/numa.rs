@@ -17,9 +17,10 @@
 use std::collections::BTreeMap;
 
 use pimdsm_engine::{Cycle, Server, ServerGrant};
+use pimdsm_faults::{Durability, RecoveryStats};
 use pimdsm_mem::{line_of, CacheCfg, Dram, Line, Residency};
 use pimdsm_net::{Mesh, NetCfg, Network};
-use pimdsm_obs::breakdown::NETWORK;
+use pimdsm_obs::breakdown::{NETWORK, QUEUE};
 
 use crate::common::{
     Access, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level, MsgSize,
@@ -225,6 +226,16 @@ impl NumaSystem {
         }
     }
 
+    /// Pays the bounded retry wait if `line`'s page is mid-recovery.
+    fn await_recovery(&mut self, tx: &mut Txn, node: NodeId, line: Line) {
+        let page = self.fab.page_of(line);
+        let w = self.fab.retry_wait(node, page, tx.at());
+        if w > 0 {
+            let resume = tx.at() + w;
+            tx.to(QUEUE, resume);
+        }
+    }
+
     /// Invalidates `line` at each node of `targets` (caches only — NUMA
     /// has no attraction memory), acks collected at `collector`. Returns
     /// the cycle when the last ack arrives.
@@ -252,6 +263,7 @@ impl NumaSystem {
         let mut tx = Txn::start(node, line, now);
         tx.probe(self.fab.lat.l2); // L1+L2 probe time before going out
         let home = self.home_of(line, node);
+        self.await_recovery(&mut tx, node, line);
         let entry = self.dir.get(&line).copied().unwrap_or_default();
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();
@@ -339,6 +351,7 @@ impl NumaSystem {
                 let mut tx = Txn::start(node, line, now);
                 tx.probe(self.fab.lat.l2);
                 let home = self.home_of(line, node);
+                self.await_recovery(&mut tx, node, line);
                 let entry = self.dir.entry(line).or_default();
                 let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
                 entry.sharers = NodeSet::singleton(node);
@@ -372,6 +385,7 @@ impl NumaSystem {
         let mut tx = Txn::start(node, line, now);
         tx.probe(self.fab.lat.l2);
         let home = self.home_of(line, node);
+        self.await_recovery(&mut tx, node, line);
         let entry = self.dir.get(&line).copied().unwrap_or_default();
         let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
         let n_inv = targets.len() as u32;
@@ -484,7 +498,72 @@ impl MemSystem for NumaSystem {
     }
 
     fn compute_nodes(&self) -> Vec<NodeId> {
-        (0..self.cfg.nodes).collect()
+        (0..self.cfg.nodes)
+            .filter(|&n| !self.fab.dead.contains(n))
+            .collect()
+    }
+
+    fn apply_kill(
+        &mut self,
+        node: NodeId,
+        now: Cycle,
+        durability: Durability,
+        rs: &mut RecoveryStats,
+    ) -> Cycle {
+        assert!(!self.fab.dead.contains(node), "node {node} is already dead");
+        self.fab.dead.insert(node);
+        let survivors: Vec<NodeId> = (0..self.cfg.nodes)
+            .filter(|&n| !self.fab.dead.contains(n))
+            .collect();
+        assert!(!survivors.is_empty(), "cannot kill the last NUMA node");
+        // The victim's SRAM caches vanish; its memory contents are only
+        // reachable again via a replica or a stale home copy.
+        let _ = self.nodes[node].caches.drain_all();
+        for e in self.dir.values_mut() {
+            e.sharers.remove(node);
+            if e.owner == Some(node) {
+                // The dirty cache copy died; the home memory now serves
+                // the last written-back version of the line.
+                e.owner = None;
+                if durability == Durability::Replication {
+                    rs.lines_recalled += 1;
+                } else {
+                    rs.lines_lost += 1;
+                }
+            }
+        }
+        // Re-home the victim's memory slice: each page's frames are
+        // reconstructed at the new home (from a replica, or from the
+        // stale backing data when nothing better survives).
+        let moved = self
+            .fab
+            .pages
+            .evacuate(node, |p| survivors[p as usize % survivors.len()]);
+        rs.pages_rehomed += moved.len() as u64;
+        let lpp = self.fab.lines_per_page();
+        let line_transfer = self
+            .fab
+            .line_bytes()
+            .div_ceil(self.cfg.net.bytes_per_cycle * 4);
+        let mut t = now;
+        for (page, _nh) in moved {
+            t += self.fab.lat.am_tag_check + lpp * line_transfer;
+            self.fab.mark_recovering(page, t);
+            rs.recovery.record(t - now);
+        }
+        #[cfg(feature = "coherence-oracle")]
+        self.check_coherence();
+        t
+    }
+
+    fn apply_rejoin(&mut self, node: NodeId, now: Cycle) -> Cycle {
+        assert!(self.fab.dead.contains(node), "node {node} is not dead");
+        self.fab.dead.remove(node);
+        now + self.fab.lat.disk
+    }
+
+    fn stall_controller(&mut self, node: NodeId, now: Cycle, extra: Cycle) {
+        self.ctrls[node].occupy(now, extra);
     }
 
     fn census(&self) -> Census {

@@ -1,6 +1,7 @@
 //! The common interface all three memory systems implement.
 
 use pimdsm_engine::Cycle;
+use pimdsm_faults::{Durability, RecoveryStats};
 use pimdsm_net::NetStats;
 use pimdsm_obs::{EpochProbe, Tracer};
 
@@ -98,6 +99,42 @@ pub trait MemSystem {
     fn epoch_probe(&self) -> EpochProbe {
         self.fabric().epoch_probe(self.controllers_busy())
     }
+
+    /// Applies a node kill at `now`: the victim's caches and attraction
+    /// memory are wiped, every page homed at it is re-homed onto
+    /// survivors, and directory state naming it (sharer bits, mastership,
+    /// ownership) is re-elected or scrubbed. What line data survives
+    /// depends on `durability`. Pages mid-reconstruction are marked
+    /// recovering on the fabric so racing transactions pay a bounded
+    /// retry wait. Returns the cycle at which recovery completes;
+    /// accounting (pages re-homed, lines recalled/lost, per-page recovery
+    /// latency) is recorded into `rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kill would leave the system unable to serve memory
+    /// (e.g. killing AGG's only D-node) or if `node` is already dead.
+    fn apply_kill(
+        &mut self,
+        node: NodeId,
+        now: Cycle,
+        durability: Durability,
+        rs: &mut RecoveryStats,
+    ) -> Cycle;
+
+    /// A previously killed node comes back cold at `now`: empty caches,
+    /// no pages homed at it, eligible for compute binding and first-touch
+    /// homing again. Returns the cycle at which the node is usable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not dead.
+    fn apply_rejoin(&mut self, node: NodeId, now: Cycle) -> Cycle;
+
+    /// Books `extra` cycles of occupancy on the protocol controller /
+    /// D-node processor at `node` starting at `now` (handler-stall
+    /// fault). A no-op for nodes without a controller (AGG P-nodes).
+    fn stall_controller(&mut self, node: NodeId, now: Cycle, extra: Cycle);
 
     /// Functionally installs a line that existed before the measured
     /// region (initialization happens outside the paper's measurement

@@ -30,7 +30,8 @@ fn main() {
     println!("\n-- dynamic reconfiguration at the hash/join boundary --");
     let w = build_dbase(8, 12, scale, false);
     let mut m = Machine::build(ArchSpec::Agg { n_d: 8 }, w, 0.75);
-    m.set_reconfig(ReconfigPlan::paper(12, 4));
+    m.set_reconfig(ReconfigPlan::paper(12, 4))
+        .expect("dbase reconfigures at the hash/join boundary");
     let r = m.run();
     println!(
         "  8P&8D -> 12P&4D : {:>10} cycles (reconfiguration overhead {} cycles)",

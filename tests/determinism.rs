@@ -80,7 +80,8 @@ fn run_dynamic_reconfig() -> (RunReport, Vec<pimdsm_obs::TraceEvent>) {
         cfg.dnode.data_lines *= 4;
         cfg.dnode.onchip_lines *= 4;
     });
-    m.set_reconfig(ReconfigPlan::paper(6, 2));
+    m.set_reconfig(ReconfigPlan::paper(6, 2))
+        .expect("dbase has a reconfiguration point");
     let tracer = Tracer::enabled();
     m.attach_tracer(tracer.clone());
     let report = m.run();
@@ -212,6 +213,96 @@ fn bench_counters_are_run_stable() {
         "deterministic bench counters must not vary between runs"
     );
     assert!(r.samples[0].counters.engine_events() > 0);
+}
+
+/// A kill + checkpoint + rejoin plan on an AGG machine: recovery sweeps
+/// directory entries, re-homes pages and re-binds threads — all paths
+/// that must stay bit-exact for the fault suite to be cacheable at all.
+fn run_faulted() -> (RunReport, Vec<pimdsm_obs::TraceEvent>) {
+    use pimdsm_faults::{Durability, FaultPlan};
+    use pimdsm_obs::Tracer;
+
+    let w = build(AppId::Radix, 6, Scale::ci());
+    let mut m = Machine::build(ArchSpec::Agg { n_d: 3 }, w, 0.75);
+    m.set_faults(
+        FaultPlan::new()
+            .kill_at(1, 10_000)
+            .rejoin_at(1, 30_000)
+            .with_durability(Durability::Checkpoint { interval: 5_000 }),
+    );
+    let tracer = Tracer::enabled();
+    m.attach_tracer(tracer.clone());
+    (m.run(), tracer.events_sorted())
+}
+
+#[test]
+fn fault_injection_is_bit_deterministic() {
+    use pimdsm_obs::ToJson;
+
+    let (ra, ea) = run_faulted();
+    let (rb, eb) = run_faulted();
+    let rs = ra.faults.as_ref().expect("faulted run carries stats");
+    assert_eq!(rs.kills, 1, "the kill actually fired");
+    assert!(
+        ea.iter().any(|e| e.name == "kill") && ea.iter().any(|e| e.name == "recovery"),
+        "the kill and the recovery span were traced"
+    );
+    assert_eq!(
+        ra.to_json().render_pretty(),
+        rb.to_json().render_pretty(),
+        "faulted run: full report must be byte-identical"
+    );
+    assert_eq!(ea, eb, "faulted run: exact event sequences must be equal");
+}
+
+/// Every fault scenario the fig-fault suite sweeps stays bit-exact when
+/// rebuilt from its declarative spec (covering the lab's FaultSpec →
+/// FaultPlan expansion on each architecture).
+#[test]
+fn agg_fault_suite_point_is_bit_deterministic() {
+    assert_suite_point_deterministic("fig-fault", "1/1AGG75 kill+rejoin");
+}
+
+#[test]
+fn coma_fault_suite_point_is_bit_deterministic() {
+    assert_suite_point_deterministic("fig-fault", "COMA75 kill+repl");
+}
+
+#[test]
+fn numa_fault_suite_point_is_bit_deterministic() {
+    assert_suite_point_deterministic("fig-fault", "NUMA kill+ckpt");
+}
+
+/// The whole fig-fault sweep — epoch-sampled, as the CLI runs it — is
+/// byte-identical whatever the worker count.
+#[test]
+fn fault_suite_sweep_is_jobs_invariant() {
+    use pimdsm_lab::{find, run_sweep, Instrumentation, SuiteCtx};
+    use pimdsm_obs::ToJson;
+
+    let ctx = SuiteCtx {
+        threads: 4,
+        scale: Scale::ci(),
+    };
+    let suite = find("fig-fault").expect("fault suite exists");
+    let inst = Instrumentation {
+        epoch: suite.epoch,
+        ..Default::default()
+    };
+    let rendered = |jobs| {
+        let result = run_sweep(suite.points(&ctx), None, &inst, jobs, false);
+        let reports = result.reports().expect("every fault point succeeds");
+        let json: Vec<String> = reports
+            .iter()
+            .map(|r| r.to_json().render_pretty())
+            .collect();
+        (suite.render(&ctx, &reports), json)
+    };
+    assert_eq!(
+        rendered(1),
+        rendered(4),
+        "--jobs must not change any fig-fault byte"
+    );
 }
 
 #[test]

@@ -8,7 +8,7 @@ use pimdsm_workloads::{build_dbase, Scale};
 fn grow_p_reconfiguration_completes_and_charges_overhead() {
     let w = build_dbase(4, 8, Scale::ci(), false);
     let mut m = Machine::build(ArchSpec::Agg { n_d: 8 }, w, 0.75);
-    m.set_reconfig(ReconfigPlan::paper(8, 4));
+    m.set_reconfig(ReconfigPlan::paper(8, 4)).unwrap();
     let r = m.run();
     assert!(r.reconfig_cycles >= 100_000, "base overhead must be paid");
     assert!(r.threads.iter().all(|t| t.finish > 0));
@@ -21,7 +21,7 @@ fn grow_p_reconfiguration_completes_and_charges_overhead() {
 fn shrink_p_reconfiguration_completes() {
     let w = build_dbase(8, 4, Scale::ci(), false);
     let mut m = Machine::build(ArchSpec::Agg { n_d: 4 }, w, 0.75);
-    m.set_reconfig(ReconfigPlan::paper(4, 8));
+    m.set_reconfig(ReconfigPlan::paper(4, 8)).unwrap();
     let r = m.run();
     assert!(r.reconfig_cycles > 0);
     assert_eq!(m.agg().p_nodes().len(), 4);
@@ -38,7 +38,7 @@ fn reconfigured_run_matches_static_work() {
 
     let w = build_dbase(4, 8, Scale::ci(), false);
     let mut m = Machine::build(ArchSpec::Agg { n_d: 8 }, w, 0.75);
-    m.set_reconfig(ReconfigPlan::paper(8, 4));
+    m.set_reconfig(ReconfigPlan::paper(8, 4)).unwrap();
     let r_dyn = m.run();
 
     let a = r_static.proto.total_reads() as f64;
