@@ -18,6 +18,7 @@ use pimdsm_engine::{Cycle, EventQueue};
 use pimdsm_faults::{FaultKind, FaultPlan, FaultSchedule, RecoveryStats};
 use pimdsm_obs::{trace::track, EpochSampler, Tracer};
 use pimdsm_proto::{Access, AggSystem, ComaSystem, Level, MemSystem, NodeId, NumaSystem};
+use pimdsm_svc::SvcStats;
 use pimdsm_workloads::{Op, ThreadGen, Workload};
 
 use crate::config::{resolve, ArchSpec};
@@ -139,6 +140,8 @@ struct ThreadState {
     acct: ThreadAcct,
     wb: VecDeque<Cycle>,
     status: Status,
+    /// Open service request: (start cycle, class). See [`Op::ReqStart`].
+    req: Option<(Cycle, u8)>,
 }
 
 #[derive(Default)]
@@ -164,6 +167,8 @@ pub struct Machine {
     reconfig: Option<ReconfigPlan>,
     reconfig_cycles: Cycle,
     faults: Option<FaultRuntime>,
+    svc: SvcStats,
+    svc_used: bool,
     label: String,
     tracer: Tracer,
     epoch: Option<Cycle>,
@@ -285,6 +290,7 @@ impl Machine {
                 } else {
                     Status::Ready
                 },
+                req: None,
             });
         }
         // Locks live past the end of the data footprint, page-aligned.
@@ -300,6 +306,8 @@ impl Machine {
             reconfig: None,
             reconfig_cycles: 0,
             faults: None,
+            svc: SvcStats::default(),
+            svc_used: false,
             label,
             tracer: Tracer::disabled(),
             epoch: None,
@@ -459,6 +467,7 @@ impl Machine {
             reconfig_cycles: self.reconfig_cycles,
             reconfig_armed: self.reconfig.is_some(),
             faults,
+            svc: self.svc_used.then(|| self.svc.clone()),
             epochs,
         }
     }
@@ -708,6 +717,47 @@ impl Machine {
                         self.queue.push(done + scan_cycles, tid);
                     }
                 }
+            }
+            Op::ReqStart { arrival, class } => {
+                self.svc_used = true;
+                let t = &mut self.threads[tid];
+                assert!(
+                    t.req.is_none(),
+                    "thread {tid} opened a request inside a request"
+                );
+                if arrival > now {
+                    // Open loop, early: the client idles until the
+                    // scheduled arrival.
+                    t.req = Some((arrival, class));
+                    self.queue.push(arrival, tid);
+                } else {
+                    // Closed loop (arrival == 0), or an open-loop request
+                    // that arrived while the client was still busy — the
+                    // lag is queueing delay and counts toward latency.
+                    let start = if arrival == 0 { now } else { arrival };
+                    self.svc.queued_cycles += now - start;
+                    t.req = Some((start, class));
+                    self.queue.push(now, tid);
+                }
+            }
+            Op::ReqEnd { class } => {
+                let (start, opened) = self.threads[tid]
+                    .req
+                    .take()
+                    .unwrap_or_else(|| panic!("thread {tid} ended a request it never opened"));
+                debug_assert_eq!(opened, class, "request class changed mid-flight");
+                let lat = now - start;
+                self.svc.record(class, lat);
+                self.tracer.span(
+                    track::MACHINE,
+                    tid as u32,
+                    "request",
+                    "svc.request",
+                    start,
+                    lat.max(1),
+                    &[("class", u64::from(class))],
+                );
+                self.queue.push(now, tid);
             }
         }
     }

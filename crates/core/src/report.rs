@@ -5,6 +5,7 @@ use pimdsm_faults::RecoveryStats;
 use pimdsm_net::NetStats;
 use pimdsm_obs::EpochSeries;
 use pimdsm_proto::{Census, Level, ProtoStats};
+use pimdsm_svc::SvcStats;
 
 /// Per-thread time accounting.
 ///
@@ -66,6 +67,10 @@ pub struct RunReport {
     /// [`FaultPlan`](pimdsm_faults::FaultPlan) was attached
     /// ([`Machine::set_faults`](crate::Machine::set_faults)).
     pub faults: Option<RecoveryStats>,
+    /// Per-request service statistics (latency percentiles, throughput
+    /// counts), when the workload issued `ReqStart`/`ReqEnd` brackets —
+    /// i.e. for the [`pimdsm_svc`] serving workloads.
+    pub svc: Option<SvcStats>,
     /// Epoch-sampled metric time-series, when sampling was enabled
     /// ([`Machine::sample_epochs`](crate::Machine::sample_epochs)).
     pub epochs: Option<EpochSeries>,
@@ -206,6 +211,10 @@ impl RunReport {
                 Some(f) => Some(RecoveryStats::from_json(f)?),
                 None => None,
             },
+            svc: match v.get("svc") {
+                Some(s) => Some(SvcStats::from_json(s)?),
+                None => None,
+            },
             epochs: None,
         })
     }
@@ -255,6 +264,9 @@ impl pimdsm_obs::ToJson for RunReport {
         if let Some(f) = &self.faults {
             fields.push(("faults", f.to_json()));
         }
+        if let Some(s) = &self.svc {
+            fields.push(("svc", s.to_json()));
+        }
         if let Some(e) = &self.epochs {
             fields.push(("epochs", e.to_json()));
         }
@@ -295,6 +307,7 @@ mod tests {
             reconfig_cycles: 0,
             reconfig_armed: false,
             faults: None,
+            svc: None,
             epochs: None,
         }
     }
@@ -363,6 +376,12 @@ mod tests {
         };
         rs.recovery.record(1_500);
         r.faults = Some(rs);
+        let mut svc = SvcStats::default();
+        svc.record(0, 210);
+        svc.record(1, 950);
+        svc.record(2, 77);
+        svc.queued_cycles = 13;
+        r.svc = Some(svc);
 
         let rendered = r.to_json().render_pretty();
         let parsed = pimdsm_obs::json::parse(&rendered).expect("parse back");
@@ -379,6 +398,7 @@ mod tests {
         assert_eq!(restored.net, r.net);
         assert!(restored.reconfig_armed);
         assert_eq!(restored.faults, r.faults);
+        assert_eq!(restored.svc, r.svc);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   (Table 2).
 //! - [`SimRng`] — a seeded deterministic RNG plus the distribution helpers
 //!   the synthetic workloads need (Zipf, geometric).
+//! - [`ArrivalGen`] — a deterministic open-loop arrival schedule for the
+//!   service workloads (fixed period plus bounded seeded jitter).
 //!
 //! The whole simulator is single-threaded and deterministic: the same
 //! configuration and seed always produce the same cycle counts.
@@ -35,11 +37,13 @@
 //! assert_eq!(link.acquire(1, 4), 4);
 //! ```
 
+pub mod arrival;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
+pub use arrival::ArrivalGen;
 pub use queue::EventQueue;
 pub use resource::{Server, ServerGrant, Timeline};
 pub use rng::{SimRng, Zipf};

@@ -144,4 +144,44 @@ proptest! {
             prop_assert!(z.sample(&mut rng) < n);
         }
     }
+
+    /// Skew monotonicity, pointwise: Zipf is inverse-CDF sampled and
+    /// `p_i ∝ i^-θ` is likelihood-ratio ordered in θ, so under common
+    /// random numbers a higher exponent never yields a *colder* (higher)
+    /// index than a lower one. This is the noise-free form of "higher θ
+    /// puts more mass on the hot keys".
+    #[test]
+    fn zipf_skew_monotone_under_common_draws(
+        n in 2usize..2000,
+        theta in 0.0f64..1.5,
+        delta in 0.01f64..1.0,
+        seed in any::<u64>()
+    ) {
+        let cold = Zipf::new(n, theta);
+        let hot = Zipf::new(n, theta + delta);
+        let mut rc = SimRng::new(seed);
+        let mut rh = rc.clone();
+        for _ in 0..64 {
+            let c = cold.sample(&mut rc);
+            let h = hot.sample(&mut rh);
+            prop_assert!(h <= c, "θ={theta} drew {c}, θ+{delta} drew hotter-is-colder {h}");
+        }
+    }
+
+    /// Two independently constructed samplers with equal parameters and
+    /// equal seeds produce bit-identical index sequences.
+    #[test]
+    fn zipf_equal_seeds_bit_identical(
+        n in 1usize..500,
+        theta in 0.0f64..2.0,
+        seed in any::<u64>()
+    ) {
+        let z1 = Zipf::new(n, theta);
+        let z2 = Zipf::new(n, theta);
+        let mut r1 = SimRng::new(seed);
+        let mut r2 = SimRng::new(seed);
+        let a: Vec<usize> = (0..128).map(|_| z1.sample(&mut r1)).collect();
+        let b: Vec<usize> = (0..128).map(|_| z2.sample(&mut r2)).collect();
+        prop_assert_eq!(a, b);
+    }
 }

@@ -13,6 +13,7 @@
 use pimdsm::{ArchSpec, Machine, ReconfigPlan};
 use pimdsm_faults::{Durability, FaultPlan};
 use pimdsm_mem::CacheCfg;
+use pimdsm_svc::SvcSpec;
 use pimdsm_workloads::{build, build_dbase, AppId, Scale};
 
 /// The machine configurations of Figure 6, in presentation order.
@@ -93,6 +94,9 @@ pub enum WorkloadSpec {
         /// Run the select scans on the D-node processors.
         offload: bool,
     },
+    /// A service workload (KV serving, graph analytics, streaming scans)
+    /// from the `pimdsm-svc` subsystem.
+    Svc(SvcSpec),
 }
 
 impl WorkloadSpec {
@@ -106,6 +110,7 @@ impl WorkloadSpec {
                 join_threads,
                 offload,
             } => format!("dbase:hash={hash_threads}:join={join_threads}:offload={offload}"),
+            WorkloadSpec::Svc(s) => format!("svc:{}", s.canonical()),
         }
     }
 
@@ -114,6 +119,7 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::App { app, .. } => app.name(),
             WorkloadSpec::Dbase { .. } => "Dbase",
+            WorkloadSpec::Svc(s) => s.name(),
         }
     }
 }
@@ -369,12 +375,14 @@ impl PointSpec {
                 join_threads,
                 offload,
             } => build_dbase(hash_threads, join_threads, self.scale, offload),
+            WorkloadSpec::Svc(s) => s.build(self.scale),
         };
         let machine = match self.machine {
             MachineSpec::Arch(config) => {
                 let threads = match self.workload {
                     WorkloadSpec::App { threads, .. } => threads,
                     WorkloadSpec::Dbase { hash_threads, .. } => hash_threads,
+                    WorkloadSpec::Svc(s) => s.threads(),
                 };
                 let spec = match config {
                     Config::Numa => ArchSpec::Numa,
@@ -541,6 +549,27 @@ mod tests {
         let mut third = other.clone();
         third.fault.as_mut().unwrap().durability = Durability::Checkpoint { interval: 5_000 };
         assert_ne!(other.canonical(), third.canonical());
+    }
+
+    #[test]
+    fn svc_workloads_carry_their_own_canonical_namespace() {
+        let mut p = point();
+        p.workload = WorkloadSpec::Svc(SvcSpec::Kv {
+            threads: 4,
+            theta_milli: 900,
+            write_pct: 10,
+            open_loop: false,
+        });
+        assert_eq!(p.workload.app_name(), "KV");
+        assert!(
+            p.canonical().contains("workload=svc:kv:threads=4"),
+            "{}",
+            p.canonical()
+        );
+        assert_ne!(p.canonical(), point().canonical());
+        let r = p.build_machine().run();
+        let s = r.svc.expect("service run reports svc stats");
+        assert!(s.requests > 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use pimdsm_engine::Cycle;
 use pimdsm_faults::Durability;
 use pimdsm_obs::JsonValue;
 use pimdsm_proto::Level;
+use pimdsm_svc::SvcSpec;
 use pimdsm_workloads::{build, AppId, Scale, ALL_APPS};
 
 use crate::spec::{
@@ -184,6 +185,14 @@ pub static ALL_SUITES: &[Suite] = &[
         render: fault_render,
         data: None,
         epoch: Some(FAULT_EPOCH),
+    },
+    Suite {
+        name: "fig-svc",
+        title: "Service workloads: KV serving, graph analytics and streaming scans",
+        points: svc_points,
+        render: svc_render,
+        data: None,
+        epoch: None,
     },
     Suite {
         name: "smoke",
@@ -1158,6 +1167,131 @@ fn fault_render(_: &SuiteCtx, reports: &[&RunReport]) -> String {
     out
 }
 
+// --------------------------------------------------------------- fig-svc
+
+/// KV write mix of the service suite, percent puts.
+const SVC_KV_WRITE_PCT: u32 = 10;
+
+/// The three machine configurations the service suite compares.
+const SVC_ARCHS: [Config; 3] = [
+    Config::Numa,
+    Config::Coma { pressure_pct: 75 },
+    Config::Agg {
+        ratio: 1,
+        pressure_pct: 75,
+    },
+];
+
+/// The eight service points per architecture: a closed-loop KV skew
+/// sweep (θ = 0.6 / 0.9 / 1.2), one open-loop KV point, both graph
+/// kernels, and the streaming scan shipped to P-nodes vs offloaded into
+/// the D-node memory controllers.
+fn svc_workloads(threads: usize) -> [(&'static str, SvcSpec); 8] {
+    let kv = |theta_milli, open_loop| SvcSpec::Kv {
+        threads,
+        theta_milli,
+        write_pct: SVC_KV_WRITE_PCT,
+        open_loop,
+    };
+    [
+        ("kv-0.6", kv(600, false)),
+        ("kv-0.9", kv(900, false)),
+        ("kv-1.2", kv(1200, false)),
+        ("kv-open", kv(900, true)),
+        ("bfs", SvcSpec::Bfs { threads }),
+        ("pagerank", SvcSpec::PageRank { threads }),
+        (
+            "stream-ship",
+            SvcSpec::Stream {
+                threads,
+                offload: false,
+            },
+        ),
+        (
+            "stream-offload",
+            SvcSpec::Stream {
+                threads,
+                offload: true,
+            },
+        ),
+    ]
+}
+
+fn svc_points(ctx: &SuiteCtx) -> Vec<PointSpec> {
+    let mut points = Vec::new();
+    for cfg in SVC_ARCHS {
+        for (tag, spec) in svc_workloads(ctx.threads) {
+            points.push(PointSpec {
+                workload: WorkloadSpec::Svc(spec),
+                machine: MachineSpec::Arch(cfg),
+                scale: ctx.scale,
+                fault: None,
+                label: format!("{} {tag}", cfg.label()),
+            });
+        }
+    }
+    points
+}
+
+fn svc_render(ctx: &SuiteCtx, reports: &[&RunReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Service workloads: throughput and per-request latency percentiles"
+    );
+    let _ = writeln!(
+        out,
+        "{} client/worker threads; KV mix {}% puts; COMA/AGG at 75% pressure\n",
+        ctx.threads, SVC_KV_WRITE_PCT
+    );
+    let mut it = reports.iter();
+    for cfg in SVC_ARCHS {
+        let _ = writeln!(out, "== {} ==", cfg.label());
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>9} {:>9} {:>7} {:>7} {:>7}",
+            "workload", "cycles", "requests", "req/Mcyc", "p50", "p95", "p99"
+        );
+        let mut stream_ship: Option<u64> = None;
+        for (tag, _) in svc_workloads(ctx.threads) {
+            let r = it.next().expect("report per service point");
+            let s = r.svc.as_ref().expect("service run carries svc stats");
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12} {:>9} {:>9.1} {:>7} {:>7} {:>7}",
+                tag,
+                r.total_cycles,
+                s.requests,
+                s.per_mcycle(r.total_cycles),
+                s.p50(),
+                s.p95(),
+                s.p99()
+            );
+            if tag == "stream-ship" {
+                stream_ship = Some(r.total_cycles);
+            } else if tag == "stream-offload" {
+                let ship = stream_ship.expect("ship point precedes offload");
+                let _ = writeln!(
+                    out,
+                    "{:<16} (offload vs ship-to-P: {:+.1}% cycles)",
+                    "",
+                    100.0 * (r.total_cycles as f64 / ship as f64 - 1.0)
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "(latency percentiles are cycles from request arrival — queueing included"
+    );
+    let _ = writeln!(
+        out,
+        " for the open-loop point — to completion, from the pow-2-bucket histogram)"
+    );
+    out
+}
+
 // ----------------------------------------------------------------- smoke
 
 /// The CI smoke matrix: 2 apps x 2 configs — small enough for a pull
@@ -1214,8 +1348,8 @@ mod tests {
         }
         assert_eq!(
             ALL_SUITES.len(),
-            15,
-            "14 figure/table suites plus the smoke suite"
+            16,
+            "15 figure/table suites plus the smoke suite"
         );
         assert!(find("no-such-suite").is_none());
     }
@@ -1232,6 +1366,7 @@ mod tests {
         assert_eq!(find("fig10b").unwrap().points(&ctx).len(), 6);
         assert_eq!(find("table1").unwrap().points(&ctx).len(), 0);
         assert_eq!(find("fig-fault").unwrap().points(&ctx).len(), 15);
+        assert_eq!(find("fig-svc").unwrap().points(&ctx).len(), 24);
         assert_eq!(find("smoke").unwrap().points(&ctx).len(), 4);
     }
 
@@ -1323,6 +1458,30 @@ mod tests {
         let text = suite.render(&ctx, &refs);
         assert!(
             text.contains("== NUMA ==") && text.contains("kill+repl"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn svc_suite_runs_and_renders() {
+        let ctx = ctx();
+        let suite = find("fig-svc").unwrap();
+        let points = suite.points(&ctx);
+        let canonicals: std::collections::BTreeSet<String> =
+            points.iter().map(|p| p.canonical()).collect();
+        assert_eq!(canonicals.len(), points.len(), "every point is distinct");
+        let reports: Vec<_> = points.iter().map(|p| p.build_machine().run()).collect();
+        let refs: Vec<&RunReport> = reports.iter().collect();
+        for (p, r) in points.iter().zip(&refs) {
+            let s = r.svc.as_ref().unwrap_or_else(|| panic!("{}", p.key()));
+            assert!(s.requests > 0, "{}", p.key());
+            assert!(s.p99() >= s.p50(), "{}", p.key());
+        }
+        let text = suite.render(&ctx, &refs);
+        assert!(
+            text.contains("== 1/1AGG75 ==")
+                && text.contains("kv-1.2")
+                && text.contains("offload vs ship-to-P"),
             "{text}"
         );
     }

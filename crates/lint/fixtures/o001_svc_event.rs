@@ -1,0 +1,11 @@
+//! Known-bad: a service-subsystem trace emission outside the obs
+//! registry (O001) — the name typo makes every `svc.request` latency
+//! query come back empty.
+
+use pimdsm_obs::trace::track;
+use pimdsm_obs::Tracer;
+
+pub fn emit(tracer: &Tracer, tid: u32, at: u64) {
+    // Typo'd event name on the registered svc.request category.
+    tracer.span(track::MACHINE, tid, "reqeust", "svc.request", at, 9, &[]);
+}

@@ -43,6 +43,7 @@ pub const SIM_CRATES: &[&str] = &[
     "net",
     "proto",
     "core",
+    "svc",
     "workloads",
 ];
 

@@ -136,6 +136,19 @@ fn o001_fires_on_unregistered_trace_vocabulary() {
 }
 
 #[test]
+fn o001_covers_the_svc_crate_vocabulary() {
+    let diags = scan_fixture("o001_svc_event.rs", "svc");
+    assert!(diags.iter().all(|d| d.rule == "O001"), "{diags:?}");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].msg.contains("reqeust"), "{diags:?}");
+    assert_eq!(
+        diags[0].line,
+        line_of("o001_svc_event.rs", "reqeust"),
+        "span points at the bad emission"
+    );
+}
+
+#[test]
 fn p001_fires_on_unregistered_phase_names() {
     let diags = scan_fixture("p001_unknown_phase.rs", "lab");
     assert!(diags.iter().all(|d| d.rule == "P001"), "{diags:?}");

@@ -50,6 +50,8 @@ pub mod registry {
         "proto.read",
         "proto.retry",
         "proto.write",
+        "svc.offload",
+        "svc.request",
     ];
 
     /// Every event name (`name` field), sorted.
@@ -68,11 +70,13 @@ pub mod registry {
         "kill",
         "local",
         "miss",
+        "offload",
         "pageout",
         "read.remote",
         "reconfig",
         "recovery",
         "rejoin",
+        "request",
         "retry",
         "stall",
         "swap",

@@ -32,6 +32,7 @@ pub mod registry {
         "point.run",
         "suite.points",
         "suite.render",
+        "svc.build",
     ];
 
     /// Whether `name` is a registered phase.

@@ -737,6 +737,15 @@ impl AggSystem {
         let start = self.dstore(d).server.occupy(t1, occupancy);
         let t_mem = self.dstore(d).bulk_data_access(start, mem_bytes);
         let done = (start + occupancy).max(t_mem);
+        self.fab.tracer.span(
+            track::PROTO,
+            d as u32,
+            "offload",
+            "svc.offload",
+            start,
+            (done - start).max(1),
+            &[("from", p as u64), ("bytes", mem_bytes)],
+        );
         self.fab.net.send(d, p, reply_bytes, done)
     }
 

@@ -1,0 +1,51 @@
+//! `pimdsm-svc` — deterministic service workloads for the PIM-DSM
+//! simulator.
+//!
+//! The paper evaluates its processor-memory-integrated DSM on SPLASH-era
+//! compute kernels; what such a machine would run today is data-intensive
+//! *serving*. This crate models three service families as deterministic
+//! [`Workload`](pimdsm_workloads::Workload) generators that plug into the
+//! existing machine/memory-system thread model:
+//!
+//! * [`kv`] — a partitioned in-memory **key-value store** driving
+//!   get/put requests with Zipf key popularity (the deterministic
+//!   [`Zipf`](pimdsm_engine::Zipf) sampler), a read/write-mix knob, and
+//!   either closed-loop clients or an open-loop
+//!   [`ArrivalGen`](pimdsm_engine::ArrivalGen) schedule.
+//! * [`graph`] — **graph analytics** over attraction-memory-resident CSR
+//!   adjacency: pointer-chasing BFS expansions and barrier-synchronized
+//!   PageRank sweeps, both dominated by irregular remote access.
+//! * [`stream`] — **streaming scan/filter/join** over a chunked table,
+//!   either shipping every chunk through the P-node caches or executing
+//!   the scan in D-node compute-in-memory handlers
+//!   ([`Op::OffloadScan`](pimdsm_workloads::Op::OffloadScan)) — the
+//!   paper's Section 2.4 argument made quantitative for serving.
+//!
+//! Every request is bracketed by
+//! [`Op::ReqStart`](pimdsm_workloads::Op::ReqStart) /
+//! [`Op::ReqEnd`](pimdsm_workloads::Op::ReqEnd); the machine driver
+//! records per-request latency into the [`SvcStats`] histograms
+//! (p50/p95/p99 via `Histogram::percentile`) that ride along in
+//! `RunReport` JSON. [`SvcSpec`] is the `Copy` parameter block the lab
+//! crate embeds in its cache-keyed point specs.
+
+pub mod graph;
+pub mod kv;
+pub mod spec;
+pub mod stats;
+pub mod stream;
+
+pub use graph::{Bfs, PageRank};
+pub use kv::KvStore;
+pub use spec::SvcSpec;
+pub use stats::SvcStats;
+
+/// SplitMix64 finalizer: a cheap deterministic bijection on `u64` the
+/// workloads use to decorrelate logical ids (key popularity ranks,
+/// vertex ids) from physical placement.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

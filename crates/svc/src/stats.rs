@@ -1,0 +1,238 @@
+//! Per-request latency and throughput accounting.
+
+use pimdsm_engine::Histogram;
+use pimdsm_obs::{JsonValue, ToJson};
+
+/// Request classes a [`crate::SvcSpec`] workload can open.
+pub const CLASS_GET: u8 = 0;
+/// Write/put requests.
+pub const CLASS_PUT: u8 = 1;
+/// Everything that is neither a get nor a put (graph expansions,
+/// PageRank vertex updates, stream chunks).
+pub const CLASS_OTHER: u8 = 2;
+
+/// Service-level statistics for one run: completed request counts per
+/// class, open-loop queueing delay, and per-request latency histograms.
+///
+/// The machine driver owns one per run and feeds it from the
+/// `ReqStart`/`ReqEnd` op pair; all counters are integers (cycles or
+/// counts) so reports carrying them render identically across runs and
+/// job counts. Latency percentiles of an *empty* histogram are 0.0 by
+/// `Histogram::percentile`'s contract, so zero-request points render
+/// cleanly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SvcStats {
+    /// Completed requests, all classes.
+    pub requests: u64,
+    /// Completed get (read) requests.
+    pub gets: u64,
+    /// Completed put (write) requests.
+    pub puts: u64,
+    /// Completed requests of other classes.
+    pub other: u64,
+    /// Cycles open-loop requests spent queued behind a late thread
+    /// (scheduled arrival already in the past when the client issued).
+    pub queued_cycles: u64,
+    /// Per-request latency, all classes.
+    pub latency: Histogram,
+    /// Per-request latency of gets only.
+    pub get_latency: Histogram,
+    /// Per-request latency of puts only.
+    pub put_latency: Histogram,
+}
+
+impl SvcStats {
+    /// Records one completed request of `class` with end-to-end `latency`
+    /// cycles (arrival to completion, queueing included).
+    pub fn record(&mut self, class: u8, latency: u64) {
+        self.requests += 1;
+        self.latency.record(latency);
+        match class {
+            CLASS_GET => {
+                self.gets += 1;
+                self.get_latency.record(latency);
+            }
+            CLASS_PUT => {
+                self.puts += 1;
+                self.put_latency.record(latency);
+            }
+            _ => self.other += 1,
+        }
+    }
+
+    /// Median request latency, rounded to whole cycles.
+    pub fn p50(&self) -> u64 {
+        self.latency.percentile(50.0).round() as u64
+    }
+
+    /// 95th-percentile request latency, rounded to whole cycles.
+    pub fn p95(&self) -> u64 {
+        self.latency.percentile(95.0).round() as u64
+    }
+
+    /// 99th-percentile request latency, rounded to whole cycles.
+    pub fn p99(&self) -> u64 {
+        self.latency.percentile(99.0).round() as u64
+    }
+
+    /// Throughput in requests per million cycles. At the paper's 1 GHz
+    /// clock one Mcycle is a millisecond, so this is also kilorequests
+    /// per second.
+    pub fn per_mcycle(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        self.requests as f64 * 1_000_000.0 / total_cycles as f64
+    }
+
+    /// Reconstructs the statistics from the JSON produced by
+    /// [`ToJson::to_json`] — the inverse used by `pimdsm-lab`'s
+    /// content-addressed result cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or malformed field.
+    pub fn from_json(v: &JsonValue) -> Result<SvcStats, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing {key}"))
+        };
+        Ok(SvcStats {
+            requests: field("requests")?,
+            gets: field("gets")?,
+            puts: field("puts")?,
+            other: field("other")?,
+            queued_cycles: field("queued_cycles")?,
+            latency: hist_from_json(v, "latency")?,
+            get_latency: hist_from_json(v, "get_latency")?,
+            put_latency: hist_from_json(v, "put_latency")?,
+        })
+    }
+}
+
+impl ToJson for SvcStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("requests", JsonValue::u64(self.requests)),
+            ("gets", JsonValue::u64(self.gets)),
+            ("puts", JsonValue::u64(self.puts)),
+            ("other", JsonValue::u64(self.other)),
+            ("queued_cycles", JsonValue::u64(self.queued_cycles)),
+            ("latency", hist_to_json(&self.latency)),
+            ("get_latency", hist_to_json(&self.get_latency)),
+            ("put_latency", hist_to_json(&self.put_latency)),
+        ])
+    }
+}
+
+fn hist_to_json(h: &Histogram) -> JsonValue {
+    JsonValue::obj([
+        ("count", JsonValue::u64(h.count())),
+        ("sum", JsonValue::u64(h.sum())),
+        ("max", JsonValue::u64(h.max())),
+        (
+            "buckets",
+            JsonValue::Arr(h.buckets().iter().map(|&n| JsonValue::u64(n)).collect()),
+        ),
+    ])
+}
+
+fn hist_from_json(v: &JsonValue, key: &str) -> Result<Histogram, String> {
+    let h = v.get(key).ok_or_else(|| format!("missing {key}"))?;
+    let hfield = |sub: &str| -> Result<u64, String> {
+        h.get(sub)
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| format!("missing {key}.{sub}"))
+    };
+    let arr = h
+        .get("buckets")
+        .and_then(|x| x.as_arr())
+        .ok_or_else(|| format!("missing {key}.buckets"))?;
+    if arr.len() != 64 {
+        return Err(format!("{key}.buckets has {} entries", arr.len()));
+    }
+    let mut buckets = [0u64; 64];
+    for (slot, x) in buckets.iter_mut().zip(arr) {
+        *slot = x
+            .as_u64()
+            .ok_or_else(|| format!("non-integer {key} bucket"))?;
+    }
+    Ok(Histogram::from_raw(
+        buckets,
+        hfield("count")?,
+        hfield("sum")?,
+        hfield("max")?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_classes() {
+        let mut s = SvcStats::default();
+        s.record(CLASS_GET, 100);
+        s.record(CLASS_GET, 200);
+        s.record(CLASS_PUT, 400);
+        s.record(CLASS_OTHER, 800);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.other, 1);
+        assert_eq!(s.latency.count(), 4);
+        assert_eq!(s.get_latency.count(), 2);
+        assert_eq!(s.put_latency.count(), 1);
+        assert!(s.p99() >= s.p50());
+    }
+
+    #[test]
+    fn empty_stats_render_cleanly() {
+        // Satellite guard: a point that completed zero requests must not
+        // NaN/panic anywhere — percentiles are 0, throughput is 0, and
+        // the JSON round-trips.
+        let s = SvcStats::default();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p95(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.per_mcycle(0), 0.0);
+        assert_eq!(s.per_mcycle(1_000_000), 0.0);
+        let back = SvcStats::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut s = SvcStats {
+            queued_cycles: 1234,
+            ..SvcStats::default()
+        };
+        for i in 0..1000u64 {
+            s.record((i % 3) as u8, i * 17 + 3);
+        }
+        let j = s.to_json();
+        let text = j.render_pretty();
+        let parsed = pimdsm_obs::json::parse(&text).unwrap();
+        let back = SvcStats::from_json(&parsed).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json().render_pretty(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let j = JsonValue::obj([("requests", JsonValue::u64(1))]);
+        let err = SvcStats::from_json(&j).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn throughput_is_requests_per_mcycle() {
+        let mut s = SvcStats::default();
+        for _ in 0..500 {
+            s.record(CLASS_GET, 10);
+        }
+        let t = s.per_mcycle(2_000_000);
+        assert!((t - 250.0).abs() < 1e-9, "{t}");
+    }
+}

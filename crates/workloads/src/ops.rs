@@ -101,6 +101,24 @@ pub enum Op {
         /// Size of the reply (matching pointers).
         reply_bytes: u32,
     },
+    /// Opens a service request: everything until the matching
+    /// [`Op::ReqEnd`] of the same thread counts toward one per-request
+    /// latency sample. `arrival == 0` means closed-loop (the request
+    /// starts the cycle the thread issues it); a nonzero `arrival` is an
+    /// open-loop scheduled arrival cycle — if the thread reaches the op
+    /// late, the lag is charged to the request as queueing delay.
+    ReqStart {
+        /// Scheduled arrival cycle (0 = closed-loop "now").
+        arrival: u64,
+        /// Request class (0 = read/get, 1 = write/put, 2 = other).
+        class: u8,
+    },
+    /// Closes the open service request of this thread and records its
+    /// latency sample under `class`.
+    ReqEnd {
+        /// Request class (matches the opening [`Op::ReqStart`]).
+        class: u8,
+    },
 }
 
 /// A lazily-evaluated per-thread operation stream.

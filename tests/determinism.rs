@@ -305,6 +305,47 @@ fn fault_suite_sweep_is_jobs_invariant() {
     );
 }
 
+/// Service points rebuild and re-run bit-exactly: the Zipf draws, the
+/// open-loop arrival schedule and the request brackets are all seeded
+/// from the spec, never from ambient state.
+#[test]
+fn kv_svc_suite_point_is_bit_deterministic() {
+    assert_suite_point_deterministic("fig-svc", "1/1AGG75 kv-open");
+}
+
+#[test]
+fn bfs_svc_suite_point_is_bit_deterministic() {
+    assert_suite_point_deterministic("fig-svc", "COMA75 bfs");
+}
+
+/// The whole fig-svc sweep is byte-identical whatever the worker count.
+#[test]
+fn svc_suite_sweep_is_jobs_invariant() {
+    use pimdsm_lab::{find, run_sweep, Instrumentation, SuiteCtx};
+    use pimdsm_obs::ToJson;
+
+    let ctx = SuiteCtx {
+        threads: 4,
+        scale: Scale::ci(),
+    };
+    let suite = find("fig-svc").expect("svc suite exists");
+    let inst = Instrumentation::default();
+    let rendered = |jobs| {
+        let result = run_sweep(suite.points(&ctx), None, &inst, jobs, false);
+        let reports = result.reports().expect("every svc point succeeds");
+        let json: Vec<String> = reports
+            .iter()
+            .map(|r| r.to_json().render_pretty())
+            .collect();
+        (suite.render(&ctx, &reports), json)
+    };
+    assert_eq!(
+        rendered(1),
+        rendered(4),
+        "--jobs must not change any fig-svc byte"
+    );
+}
+
 #[test]
 fn dynamic_reconfiguration_is_bit_deterministic() {
     use pimdsm_obs::ToJson;
