@@ -1,14 +1,29 @@
 //! Deterministic time-ordered event queue.
+//!
+//! The queue is a flat two-level calendar: a window of `WINDOW` one-cycle
+//! buckets starting at `base` (bucket `i` holds exactly the events due at
+//! `base + i`), plus an overflow list for events scheduled beyond the
+//! window. Because a bucket corresponds to a single cycle, FIFO order
+//! within a bucket *is* (time, seq) order — pushes append, pops take the
+//! front, and no comparisons happen on the hot path. The overflow list is
+//! folded back into the window (sorted by `(time, seq)`) only when the
+//! window drains, which keeps pop order identical to the `BinaryHeap`
+//! implementation this replaced, byte for byte.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::Cycle;
 
-/// A min-heap of `(time, payload)` events with FIFO tie-breaking.
+/// One-cycle buckets in the calendar window. Events further than this
+/// ahead of `base` wait in the overflow list until the window reaches
+/// them; the simulator's typical latencies (1..~500 cycles) land in the
+/// window directly.
+const WINDOW: usize = 1024;
+
+/// A `(time, payload)` event queue with FIFO tie-breaking.
 ///
 /// Events pushed with equal times pop in insertion order, which keeps the
-/// simulator deterministic regardless of heap internals.
+/// simulator deterministic regardless of the queue's internals.
 ///
 /// # Examples
 ///
@@ -26,42 +41,37 @@ use crate::Cycle;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Entry<T>>,
+    /// Simulated time of window bucket 0.
+    base: Cycle,
+    /// First possibly-occupied bucket; while the queue is non-empty the
+    /// bucket at `cursor` is never empty (see `settle`).
+    cursor: usize,
+    /// `buckets[i]` holds the events due at `base + i`, in push order.
+    buckets: Vec<VecDeque<(u64, T)>>,
+    /// Events due at or beyond `base + WINDOW`.
+    far: Vec<FarEntry<T>>,
+    len: usize,
     seq: u64,
     pops: u64,
     peak_len: usize,
 }
 
 #[derive(Debug, Clone)]
-struct Entry<T> {
+struct FarEntry<T> {
     time: Cycle,
     seq: u64,
     payload: T,
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest (time, seq) first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            base: 0,
+            cursor: 0,
+            buckets: (0..WINDOW).map(|_| VecDeque::new()).collect(),
+            far: Vec::new(),
+            len: 0,
             seq: 0,
             pops: 0,
             peak_len: 0,
@@ -72,32 +82,72 @@ impl<T> EventQueue<T> {
     pub fn push(&mut self, time: Cycle, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, payload });
-        self.peak_len = self.peak_len.max(self.heap.len());
+        if self.len == 0 {
+            // Empty queue: re-anchor the window at the new event so it
+            // always lands in bucket 0.
+            self.base = time;
+            self.cursor = 0;
+        }
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+        if time < self.base {
+            // A push into the past relative to the window anchor: fold
+            // everything into the overflow list and rebuild. This never
+            // happens on the simulator's monotonic schedule, but the
+            // queue stays correct if it does.
+            self.far.push(FarEntry { time, seq, payload });
+            self.spill_window();
+            self.rebase();
+            return;
+        }
+        let offset = time - self.base;
+        if offset < self.buckets.len() as Cycle {
+            let idx = offset as usize;
+            self.buckets[idx].push_back((seq, payload));
+            // Buckets before the cursor are always empty, so an earlier
+            // in-window push just pulls the cursor back.
+            if idx < self.cursor {
+                self.cursor = idx;
+            }
+        } else {
+            self.far.push(FarEntry { time, seq, payload });
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
-        let e = self.heap.pop();
-        if e.is_some() {
-            self.pops += 1;
+        if self.len == 0 {
+            return None;
         }
-        e.map(|e| (e.time, e.payload))
+        let (_, payload) = self.buckets[self.cursor]
+            .pop_front()
+            .expect("cursor bucket is non-empty while the queue is");
+        let time = self.base + self.cursor as Cycle;
+        self.len -= 1;
+        self.pops += 1;
+        self.settle();
+        Some((time, payload))
     }
 
     /// Returns the time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.time)
+        if self.len == 0 {
+            None
+        } else {
+            // `settle` maintains: non-empty queue ⇒ the cursor bucket
+            // holds the earliest pending event.
+            Some(self.base + self.cursor as Cycle)
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total events popped over the queue's lifetime. Deterministic; the
@@ -109,6 +159,52 @@ impl<T> EventQueue<T> {
     /// Deepest the queue has ever been. Deterministic per run.
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Restores the invariant that `cursor` points at a non-empty bucket
+    /// whenever the queue is non-empty, folding the overflow list back
+    /// in when the window runs dry.
+    fn settle(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        loop {
+            while self.cursor < self.buckets.len() {
+                if !self.buckets[self.cursor].is_empty() {
+                    return;
+                }
+                self.cursor += 1;
+            }
+            debug_assert!(!self.far.is_empty());
+            self.rebase();
+        }
+    }
+
+    /// Moves every pending window entry into the overflow list (used
+    /// only by the defensive past-push path).
+    fn spill_window(&mut self) {
+        for i in self.cursor..self.buckets.len() {
+            let time = self.base + i as Cycle;
+            for (seq, payload) in self.buckets[i].drain(..) {
+                self.far.push(FarEntry { time, seq, payload });
+            }
+        }
+        self.cursor = self.buckets.len();
+    }
+
+    /// Re-anchors the window at the earliest overflow event and moves
+    /// every overflow entry that now fits into its bucket. Sorting by
+    /// `(time, seq)` before distributing preserves FIFO order within
+    /// each one-cycle bucket.
+    fn rebase(&mut self) {
+        self.far.sort_unstable_by_key(|e| (e.time, e.seq));
+        self.base = self.far[0].time;
+        self.cursor = 0;
+        let horizon = self.base.saturating_add(self.buckets.len() as Cycle);
+        let fits = self.far.partition_point(|e| e.time < horizon);
+        for e in self.far.drain(..fits) {
+            self.buckets[(e.time - self.base) as usize].push_back((e.seq, e.payload));
+        }
     }
 }
 
@@ -188,5 +284,36 @@ mod tests {
         assert_eq!(q.pop(), Some((5, 'd')));
         assert_eq!(q.pop(), Some((15, 'c')));
         assert_eq!(q.pop(), Some((20, 'b')));
+    }
+
+    #[test]
+    fn far_events_cross_the_window_in_order() {
+        let mut q = EventQueue::new();
+        // Two events a full disk fault apart, plus ties on the far side.
+        q.push(0, 0u64);
+        q.push(1_000_000, 1);
+        q.push(1_000_000, 2);
+        q.push(3, 3);
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((1_000_000, 1)));
+        assert_eq!(q.pop(), Some((1_000_000, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn past_push_before_the_window_anchor_stays_ordered() {
+        let mut q = EventQueue::new();
+        // First push anchors the window at 2000 …
+        q.push(2000, 'a');
+        q.push(2000, 'b');
+        // … so this lands before `base` and forces a full rebuild.
+        q.push(100, 'c');
+        q.push(2000, 'd');
+        assert_eq!(q.pop(), Some((100, 'c')));
+        assert_eq!(q.pop(), Some((2000, 'a')));
+        assert_eq!(q.pop(), Some((2000, 'b')));
+        assert_eq!(q.pop(), Some((2000, 'd')));
+        assert_eq!(q.pop(), None);
     }
 }

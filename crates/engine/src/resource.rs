@@ -16,6 +16,13 @@ use crate::Cycle;
 const BUCKET_SHIFT: u32 = 8;
 /// Cycles of service capacity per window.
 const BUCKET_CYCLES: Cycle = 1 << BUCKET_SHIFT;
+/// Windows per storage chunk, as a power of two. One chunk covers
+/// `BUCKET_CYCLES << CHUNK_SHIFT` = 64K cycles in 2 KiB — small enough
+/// that a machine full of mostly-idle resources doesn't pay megabytes of
+/// zeroed storage, large enough that a busy resource touches few chunks.
+const CHUNK_SHIFT: u32 = 8;
+/// Windows per storage chunk.
+const CHUNK: usize = 1 << CHUNK_SHIFT;
 
 /// A single-server queued resource with time-bucketed capacity.
 ///
@@ -38,9 +45,13 @@ const BUCKET_CYCLES: Cycle = 1 << BUCKET_SHIFT;
 /// assert_eq!(bank.acquire(105, 10), 110); // contended: queues behind
 /// assert_eq!(bank.busy_cycles(), 20);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
-    used: std::collections::BTreeMap<Cycle, Cycle>,
+    /// Booked service per window, as a chunked dense array indexed by
+    /// window number. A missing chunk means every window in it is
+    /// untouched; windows are written once and never removed, so a flat
+    /// array beats a search tree on both lookup and allocation churn.
+    used: Vec<Option<Box<[Cycle; CHUNK]>>>,
     max_finish: Cycle,
     busy: Cycle,
     uses: u64,
@@ -52,15 +63,37 @@ impl Timeline {
         Timeline::default()
     }
 
+    /// Booked service in window `b` (0 when never touched).
+    #[inline]
+    fn window(&self, b: Cycle) -> Cycle {
+        match self.used.get((b >> CHUNK_SHIFT) as usize) {
+            Some(Some(chunk)) => chunk[b as usize & (CHUNK - 1)],
+            _ => 0,
+        }
+    }
+
+    /// Mutable booked-service slot for window `b`, allocating its chunk
+    /// on first touch.
+    #[inline]
+    fn window_mut(&mut self, b: Cycle) -> &mut Cycle {
+        let ci = (b >> CHUNK_SHIFT) as usize;
+        if ci >= self.used.len() {
+            self.used.resize_with(ci + 1, || None);
+        }
+        let chunk = self.used[ci].get_or_insert_with(|| Box::new([0; CHUNK]));
+        &mut chunk[b as usize & (CHUNK - 1)]
+    }
+
     /// Finds the first window at or after `at` with spare capacity;
     /// service starts behind whatever that window already booked. A
     /// duration may overflow past the window boundary by at most one
     /// request's worth, which is far below the window size in practice.
+    #[inline]
     fn place(&self, at: Cycle) -> (Cycle, Cycle) {
         let mut b = at >> BUCKET_SHIFT;
         loop {
             let bstart = b << BUCKET_SHIFT;
-            let used = self.used.get(&b).copied().unwrap_or(0);
+            let used = self.window(b);
             let pos = used.max(at.saturating_sub(bstart));
             if pos >= BUCKET_CYCLES {
                 b += 1;
@@ -73,10 +106,11 @@ impl Timeline {
     /// Books the resource for `dur` cycles for a request arriving at `at`.
     ///
     /// Returns the cycle at which service starts (`>= at`).
+    #[inline]
     pub fn acquire(&mut self, at: Cycle, dur: Cycle) -> Cycle {
         let (bucket, start) = self.place(at);
         let bstart = bucket << BUCKET_SHIFT;
-        *self.used.entry(bucket).or_insert(0) = (start - bstart) + dur;
+        *self.window_mut(bucket) = (start - bstart) + dur;
         self.max_finish = self.max_finish.max(start + dur);
         self.busy += dur;
         self.uses += 1;
@@ -89,6 +123,7 @@ impl Timeline {
     }
 
     /// How long a request arriving at `at` would wait before service.
+    #[inline]
     pub fn wait_at(&self, at: Cycle) -> Cycle {
         let (_, start) = self.place(at);
         start - at
@@ -110,6 +145,20 @@ impl Timeline {
         self.uses = 0;
     }
 }
+
+// Equality is over the *schedule*, not the storage: a chunk allocated but
+// still all-zero books nothing and must compare equal to no chunk at all.
+impl PartialEq for Timeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_finish == other.max_finish
+            && self.busy == other.busy
+            && self.uses == other.uses
+            && (0..(self.used.len().max(other.used.len()) * CHUNK) as Cycle)
+                .all(|b| self.window(b) == other.window(b))
+    }
+}
+
+impl Eq for Timeline {}
 
 /// Outcome of dispatching a request to a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +212,7 @@ impl Server {
     ///
     /// Panics if `latency > occupancy`; a handler cannot reply after it has
     /// already released the processor.
+    #[inline]
     pub fn dispatch(&mut self, at: Cycle, latency: Cycle, occupancy: Cycle) -> ServerGrant {
         assert!(
             latency <= occupancy,
@@ -179,6 +229,7 @@ impl Server {
 
     /// Books the server without a reply (pure occupancy, e.g. handling an
     /// acknowledgment). Returns the start cycle.
+    #[inline]
     pub fn occupy(&mut self, at: Cycle, occupancy: Cycle) -> Cycle {
         self.handled += 1;
         self.timeline.acquire(at, occupancy)

@@ -1,8 +1,46 @@
 //! Property-based tests for the simulation kernel.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use proptest::prelude::*;
 
 use pimdsm_engine::{EventQueue, Histogram, SimRng, Timeline, Zipf};
+
+/// The specification `EventQueue` is tested against: a plain min-heap of
+/// `(time, seq, payload)` with an explicit insertion sequence for FIFO
+/// tie-breaking — the exact structure the calendar queue replaced.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: u64,
+    pops: u64,
+    peak: usize,
+}
+
+impl HeapModel {
+    fn push(&mut self, time: u64, payload: usize) {
+        self.heap.push(Reverse((time, self.seq, payload)));
+        self.seq += 1;
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let e = self.heap.pop();
+        if e.is_some() {
+            self.pops += 1;
+        }
+        e.map(|Reverse((t, _, p))| (t, p))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
 
 proptest! {
     /// Service never starts before the request arrives, and the capacity
@@ -70,6 +108,79 @@ proptest! {
             prev = Some((t, seq));
         }
         prop_assert!(q.is_empty());
+    }
+
+    /// The calendar queue is observationally identical to a `BinaryHeap`
+    /// reference model under random interleaved push/pop traffic with
+    /// heavy ties: every pop, every peek, the live length, and the
+    /// lifetime `pops`/`peak_len` counters all agree. Deltas are drawn to
+    /// cluster times (ties), stay inside the calendar window, and spill
+    /// far past it (disk-fault-sized latencies), so the overflow fold-in
+    /// path is exercised too.
+    #[test]
+    fn event_queue_matches_heap_reference_model(
+        ops in proptest::collection::vec((0u64..8, 0u64..2000), 1..500)
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = HeapModel::default();
+        let mut now = 0u64;
+        let mut next_payload = 0usize;
+        for (kind, x) in ops {
+            match kind {
+                0..=4 => {
+                    let delta = match kind {
+                        0 => 0,
+                        1 => x % 4,
+                        2 => x,
+                        3 => 1_000_000 + x,
+                        _ => x % 64,
+                    };
+                    q.push(now + delta, next_payload);
+                    model.push(now + delta, next_payload);
+                    next_payload += 1;
+                }
+                _ => {
+                    let got = q.pop();
+                    prop_assert_eq!(got, model.pop());
+                    if let Some((t, _)) = got {
+                        now = t;
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.peek_time(), model.peek_time());
+        }
+        loop {
+            let got = q.pop();
+            prop_assert_eq!(got, model.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(q.total_pops(), model.pops);
+        prop_assert_eq!(q.peak_len(), model.peak);
+    }
+
+    /// Counter parity on a pure push-then-drain schedule: `peak_len` is
+    /// the high-water mark and `total_pops` counts only successful pops,
+    /// exactly as the reference model defines them.
+    #[test]
+    fn event_queue_counters_match_reference(
+        times in proptest::collection::vec(0u64..50, 0..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut model = HeapModel::default();
+        for (payload, &t) in times.iter().enumerate() {
+            q.push(t, payload);
+            model.push(t, payload);
+        }
+        while q.pop().is_some() {
+            model.pop();
+        }
+        prop_assert_eq!(q.pop(), None);
+        prop_assert_eq!(model.pop(), None);
+        prop_assert_eq!(q.total_pops(), model.pops);
+        prop_assert_eq!(q.peak_len(), model.peak);
     }
 
     /// RNG ranges stay within bounds and forks are deterministic.
