@@ -184,14 +184,27 @@ impl<S> AttractionMemory<S> {
         s
     }
 
-    /// Iterates over all resident `(line, payload)` pairs.
+    /// Iterates over all resident `(line, payload)` pairs in the tag
+    /// arena's deterministic order (alias of
+    /// [`AttractionMemory::iter_deterministic`]).
     pub fn iter(&self) -> impl Iterator<Item = (Line, &S)> {
-        self.cache.iter()
+        self.iter_deterministic()
     }
 
-    /// Drains every resident line (used when a node is reconfigured from
-    /// P to D and its memory reverts to plain DRAM).
-    pub fn drain_all(&mut self) -> Vec<(Line, S)> {
+    /// Iterates over all resident `(line, payload)` pairs in the tag
+    /// arena's deterministic index order (see
+    /// [`SetAssocCache::iter_deterministic`]).
+    pub fn iter_deterministic(&self) -> impl Iterator<Item = (Line, &S)> {
+        self.cache.iter_deterministic()
+    }
+
+    /// Drains every resident line in place, in deterministic tag-arena
+    /// order (used when a node is reconfigured from P to D and its memory
+    /// reverts to plain DRAM). The returned iterator borrows the memory
+    /// and removes lines as it yields them; no buffer proportional to
+    /// residency is ever materialized. Dropping it mid-way finishes the
+    /// drain, so the memory is always left empty.
+    pub fn drain_all(&mut self) -> crate::cache::DrainAll<'_, S> {
         while self.onchip.pop_front().is_some() {}
         self.cache.drain_all()
     }
@@ -284,9 +297,41 @@ mod tests {
         for i in 0..6 {
             m.insert(i, i as u32, |_| 0);
         }
-        let drained = m.drain_all();
+        let drained: Vec<_> = m.drain_all().collect();
         assert_eq!(drained.len(), 6);
         assert!(m.is_empty());
         assert_eq!(m.residency(0), None);
+    }
+
+    #[test]
+    fn drain_all_yields_lines_in_place_and_in_arena_order() {
+        let mut m = am(8, 4, 2);
+        for i in 0..6 {
+            m.insert(i, (i * 10) as u32, |_| 0);
+        }
+        // Expected order is the tag arena's deterministic iteration order
+        // — the same order the old Vec-materializing drain produced.
+        let expected: Vec<(Line, u32)> = m.iter().map(|(l, s)| (l, *s)).collect();
+        let drained: Vec<(Line, u32)> = m.drain_all().collect();
+        assert_eq!(drained, expected);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn abandoned_drain_still_empties_memory() {
+        let mut m = am(8, 4, 2);
+        for i in 0..6 {
+            m.insert(i, i as u32, |_| 0);
+        }
+        {
+            let mut d = m.drain_all();
+            let _ = d.next();
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.residency(1), None);
+        // The memory is reusable afterwards.
+        m.insert(3, 33, |_| 0);
+        assert_eq!(m.peek(3), Some(&33));
+        assert_eq!(m.residency(3), Some(Residency::OnChip));
     }
 }

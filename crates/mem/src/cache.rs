@@ -1,4 +1,13 @@
 //! Generic set-associative cache with LRU and victim-class replacement.
+//!
+//! The tag store is a single flat slab (`num_sets * ways` slots) instead
+//! of a `Vec` per set: building a memory-sized attraction-memory cache
+//! costs two allocations total rather than one per set, which dominated
+//! `point.build` wall time before the arena layout. Set `i` occupies the
+//! slot range `[i*ways, i*ways + occ[i])`, entries stay in the exact
+//! order the old per-set `Vec` kept them (append on insert, last-slot
+//! backfill on removal — `swap_remove` semantics), so iteration and
+//! drain order are bit-identical to the previous representation.
 
 use std::fmt;
 
@@ -133,7 +142,11 @@ pub struct Evicted<S> {
 #[derive(Clone)]
 pub struct SetAssocCache<S> {
     cfg: CacheCfg,
-    sets: Vec<Vec<Entry<S>>>,
+    ways: usize,
+    /// Flat arena of tag slots; set `i` occupies `[i*ways, i*ways+occ[i])`.
+    slab: Vec<Option<Entry<S>>>,
+    /// Occupied ways per set.
+    occ: Vec<u32>,
     tick: u64,
     len: usize,
 }
@@ -150,14 +163,15 @@ impl<S: fmt::Debug> fmt::Debug for SetAssocCache<S> {
 impl<S> SetAssocCache<S> {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheCfg) -> Self {
+        let ways = cfg.ways() as usize;
         let n = cfg.num_sets() as usize;
-        let mut sets = Vec::with_capacity(n);
-        for _ in 0..n {
-            sets.push(Vec::with_capacity(cfg.ways() as usize));
-        }
+        let mut slab = Vec::new();
+        slab.resize_with(n * ways, || None);
         SetAssocCache {
             cfg,
-            sets,
+            ways,
+            slab,
+            occ: vec![0; n],
             tick: 0,
             len: 0,
         }
@@ -187,31 +201,44 @@ impl<S> SetAssocCache<S> {
         }
     }
 
+    /// The occupied slot range of the set `line` maps to.
+    fn set_range(&self, line: Line) -> (usize, usize) {
+        let set = self.set_index(line);
+        let base = set * self.ways;
+        (base, base + self.occ[set] as usize)
+    }
+
     /// Looks up a line, updating LRU. Returns the payload if present.
     pub fn get(&mut self, line: Line) -> Option<&mut S> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_index(line);
-        self.sets[set].iter_mut().find(|e| e.line == line).map(|e| {
-            e.last_use = tick;
-            &mut e.state
-        })
+        let (base, end) = self.set_range(line);
+        self.slab[base..end]
+            .iter_mut()
+            .map(|s| s.as_mut().expect("slot within occupancy is filled"))
+            .find(|e| e.line == line)
+            .map(|e| {
+                e.last_use = tick;
+                &mut e.state
+            })
     }
 
     /// Looks up a line without touching LRU.
     pub fn peek(&self, line: Line) -> Option<&S> {
-        let set = self.set_index(line);
-        self.sets[set]
+        let (base, end) = self.set_range(line);
+        self.slab[base..end]
             .iter()
+            .map(|s| s.as_ref().expect("slot within occupancy is filled"))
             .find(|e| e.line == line)
             .map(|e| &e.state)
     }
 
     /// Mutable lookup without touching LRU.
     pub fn peek_mut(&mut self, line: Line) -> Option<&mut S> {
-        let set = self.set_index(line);
-        self.sets[set]
+        let (base, end) = self.set_range(line);
+        self.slab[base..end]
             .iter_mut()
+            .map(|s| s.as_mut().expect("slot within occupancy is filled"))
             .find(|e| e.line == line)
             .map(|e| &mut e.state)
     }
@@ -235,34 +262,52 @@ impl<S> SetAssocCache<S> {
     ) -> Option<Evicted<S>> {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.cfg.ways() as usize;
-        let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_index(line);
+        let base = set * self.ways;
+        let occ = self.occ[set] as usize;
 
-        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
+        if let Some(e) = self.slab[base..base + occ]
+            .iter_mut()
+            .map(|s| s.as_mut().expect("slot within occupancy is filled"))
+            .find(|e| e.line == line)
+        {
             e.state = state;
             e.last_use = tick;
             return None;
         }
 
-        let evicted = if set.len() == ways {
-            // Pick victim: highest class, then least recently used.
-            let (vi, _) = set
+        let (evicted, at) = if occ == self.ways {
+            // Pick victim: highest class, then least recently used (the
+            // same scan order and `max_by_key` tie behavior as the old
+            // per-set `Vec`).
+            let vi = self.slab[base..base + occ]
                 .iter()
+                .map(|s| s.as_ref().expect("slot within occupancy is filled"))
                 .enumerate()
                 .max_by_key(|(_, e)| (victim_class(&e.state), std::cmp::Reverse(e.last_use)))
+                .map(|(i, _)| i)
                 .expect("set is full, so non-empty");
-            let victim = set.swap_remove(vi);
+            // `Vec::swap_remove(vi)` followed by `push` left the formerly
+            // last entry in slot `vi` and the new entry in the last slot;
+            // reproduce that exactly so iteration order never changes.
+            let victim = self.slab[base + vi].take().expect("victim slot is filled");
+            if vi != occ - 1 {
+                self.slab[base + vi] = self.slab[base + occ - 1].take();
+            }
             self.len -= 1;
-            Some(Evicted {
-                line: victim.line,
-                state: victim.state,
-            })
+            (
+                Some(Evicted {
+                    line: victim.line,
+                    state: victim.state,
+                }),
+                occ - 1,
+            )
         } else {
-            None
+            self.occ[set] += 1;
+            (None, occ)
         };
 
-        set.push(Entry {
+        self.slab[base + at] = Some(Entry {
             line,
             state,
             last_use: tick,
@@ -275,47 +320,111 @@ impl<S> SetAssocCache<S> {
     /// now, without changing any state. `None` means the insertion would
     /// be eviction-free (free way, or the line is already resident).
     pub fn peek_victim(&self, line: Line, victim_class: impl Fn(&S) -> u32) -> Option<(Line, &S)> {
-        let set = &self.sets[self.set_index(line)];
-        if set.len() < self.cfg.ways() as usize || set.iter().any(|e| e.line == line) {
+        let (base, end) = self.set_range(line);
+        let set = &self.slab[base..end];
+        if end - base < self.ways
+            || set
+                .iter()
+                .any(|s| s.as_ref().is_some_and(|e| e.line == line))
+        {
             return None;
         }
         set.iter()
+            .map(|s| s.as_ref().expect("slot within occupancy is filled"))
             .max_by_key(|e| (victim_class(&e.state), std::cmp::Reverse(e.last_use)))
             .map(|e| (e.line, &e.state))
     }
 
     /// Removes a line, returning its payload if it was resident.
     pub fn remove(&mut self, line: Line) -> Option<S> {
-        let set_idx = self.set_index(line);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|e| e.line == line)?;
+        let set = self.set_index(line);
+        let base = set * self.ways;
+        let occ = self.occ[set] as usize;
+        let pos = self.slab[base..base + occ]
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|e| e.line == line))?;
+        // `Vec::swap_remove`: the last occupied slot backfills the hole.
+        let removed = self.slab[base + pos].take().expect("slot is filled");
+        if pos != occ - 1 {
+            self.slab[base + pos] = self.slab[base + occ - 1].take();
+        }
+        self.occ[set] -= 1;
         self.len -= 1;
-        Some(set.swap_remove(pos).state)
+        Some(removed.state)
     }
 
     /// Whether the set that `line` maps to has a free way.
     pub fn has_room_for(&self, line: Line) -> bool {
-        self.sets[self.set_index(line)].len() < self.cfg.ways() as usize
+        (self.occ[self.set_index(line)] as usize) < self.ways
     }
 
-    /// Iterates over all resident `(line, payload)` pairs in unspecified
-    /// order.
+    /// Iterates over all resident `(line, payload)` pairs in the arena's
+    /// deterministic order: sets ascending, slots within a set in
+    /// insertion/backfill order. Any simulated behavior driven by this
+    /// order is reproducible because the order is a pure function of the
+    /// operation history.
+    pub fn iter_deterministic(&self) -> impl Iterator<Item = (Line, &S)> {
+        self.occ.iter().enumerate().flat_map(move |(set, &occ)| {
+            let base = set * self.ways;
+            self.slab[base..base + occ as usize]
+                .iter()
+                .map(|s| s.as_ref().expect("slot within occupancy is filled"))
+                .map(|e| (e.line, &e.state))
+        })
+    }
+
+    /// Iterates over all resident `(line, payload)` pairs (alias of
+    /// [`SetAssocCache::iter_deterministic`]).
     pub fn iter(&self) -> impl Iterator<Item = (Line, &S)> {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter().map(|e| (e.line, &e.state)))
+        self.iter_deterministic()
     }
 
-    /// Drains every resident line, leaving the cache empty.
-    pub fn drain_all(&mut self) -> Vec<(Line, S)> {
+    /// Drains every resident line in [`SetAssocCache::iter_deterministic`]
+    /// order, leaving the cache empty. The drain is in place: no buffer
+    /// of the cache's size is ever materialized.
+    pub fn drain_all(&mut self) -> DrainAll<'_, S> {
         self.len = 0;
-        let mut out = Vec::new();
-        for set in &mut self.sets {
-            for e in set.drain(..) {
-                out.push((e.line, e.state));
-            }
+        DrainAll {
+            cache: self,
+            set: 0,
+            way: 0,
         }
-        out
+    }
+}
+
+/// In-place draining iterator over a [`SetAssocCache`]; see
+/// [`SetAssocCache::drain_all`]. Dropping it mid-iteration finishes the
+/// drain, so the cache is always left empty.
+pub struct DrainAll<'a, S> {
+    cache: &'a mut SetAssocCache<S>,
+    set: usize,
+    way: usize,
+}
+
+impl<S> Iterator for DrainAll<'_, S> {
+    type Item = (Line, S);
+
+    fn next(&mut self) -> Option<(Line, S)> {
+        while self.set < self.cache.occ.len() {
+            if self.way < self.cache.occ[self.set] as usize {
+                let slot = self.set * self.cache.ways + self.way;
+                self.way += 1;
+                let e = self.cache.slab[slot]
+                    .take()
+                    .expect("slot within occupancy is filled");
+                return Some((e.line, e.state));
+            }
+            self.cache.occ[self.set] = 0;
+            self.set += 1;
+            self.way = 0;
+        }
+        None
+    }
+}
+
+impl<S> Drop for DrainAll<'_, S> {
+    fn drop(&mut self) {
+        for _ in self.by_ref() {}
     }
 }
 
@@ -403,11 +512,66 @@ mod tests {
             c.insert(i, i as u32, any);
         }
         assert_eq!(c.iter().count(), 10);
-        let mut drained = c.drain_all();
+        let mut drained: Vec<_> = c.drain_all().collect();
         drained.sort_unstable();
         assert_eq!(drained.len(), 10);
         assert!(c.is_empty());
         assert_eq!(drained[3], (3, 3));
+    }
+
+    /// The arena layout must reproduce the old per-set `Vec` order
+    /// exactly: append on insert, last-entry backfill on `remove` and on
+    /// eviction (`swap_remove` + `push`). This order is observable — it
+    /// decides flush order in `convert_p_to_d` — so it is part of the
+    /// determinism contract, not an implementation detail.
+    #[test]
+    fn iteration_preserves_vec_swap_remove_order() {
+        // One set, four ways: all of 0,4,8,12,16 collide.
+        let mut c = SetAssocCache::new(CacheCfg::new(1024, 4, 6));
+        for line in [0u64, 4, 8, 12] {
+            c.insert(line, line as u32, any);
+        }
+        let order = |c: &SetAssocCache<u32>| c.iter().map(|(l, _)| l).collect::<Vec<_>>();
+        assert_eq!(order(&c), vec![0, 4, 8, 12], "insertion appends");
+
+        // Remove the middle entry: the last one backfills its slot.
+        c.remove(4);
+        assert_eq!(order(&c), vec![0, 12, 8], "swap_remove backfill");
+
+        // Fill the set again, then force an eviction of the LRU (line 0):
+        // the last entry backfills slot 0 and the new line appends.
+        c.insert(16, 16, any);
+        assert_eq!(order(&c), vec![0, 12, 8, 16]);
+        c.get(12);
+        c.get(8);
+        c.get(16);
+        let v = c.insert(20, 20, any).unwrap();
+        assert_eq!(v.line, 0, "LRU evicted");
+        assert_eq!(order(&c), vec![16, 12, 8, 20], "evict backfill + append");
+
+        // Drain yields the same deterministic order, in place.
+        let drained: Vec<Line> = c.drain_all().map(|(l, _)| l).collect();
+        assert_eq!(drained, vec![16, 12, 8, 20]);
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn dropping_a_partial_drain_empties_the_cache() {
+        let mut c = SetAssocCache::new(CacheCfg::new(1024, 4, 6));
+        for i in 0..10u64 {
+            c.insert(i, i as u32, any);
+        }
+        {
+            let mut d = c.drain_all();
+            assert!(d.next().is_some());
+            assert!(d.next().is_some());
+        }
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+        // The cache is fully reusable after an abandoned drain.
+        assert!(c.insert(3, 3, any).is_none());
+        assert_eq!(c.peek(3), Some(&3));
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl Dram {
 
     /// Performs an access of `bytes` starting at `now`; returns the
     /// completion cycle.
+    #[inline]
     pub fn access(&mut self, now: Cycle, bytes: u64) -> Cycle {
         self.accesses += 1;
         let transfer = bytes.div_ceil(self.bytes_per_cycle);

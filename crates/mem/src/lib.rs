@@ -24,13 +24,15 @@
 pub mod addr;
 pub mod attraction;
 pub mod cache;
+pub mod chunked_index;
 pub mod dram;
 pub mod keyed_queue;
 pub mod pages;
 
 pub use addr::{line_of, page_of, Line, Page};
 pub use attraction::{AmInsert, AttractionMemory, Residency};
-pub use cache::{CacheCfg, Evicted, SetAssocCache};
+pub use cache::{CacheCfg, DrainAll, Evicted, SetAssocCache};
+pub use chunked_index::ChunkedIndex;
 pub use dram::Dram;
 pub use keyed_queue::KeyedQueue;
 pub use pages::PageTable;
