@@ -30,7 +30,7 @@ use pimdsm_obs::{trace::track, EpochProbe};
 
 use crate::common::{
     Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
-    MsgSize, NodeId, PreloadKind,
+    MsgSize, NodeId, NodeList, PreloadKind,
 };
 use crate::dnode::{DNode, DNodeCfg, Master};
 use crate::fabric::Fabric;
@@ -328,13 +328,16 @@ impl AggSystem {
                 let Some(e) = self.dstore_ref(d).entry(line).copied() else {
                     continue;
                 };
-                let mut holders: Vec<NodeId> = e.sharers.iter().collect();
+                let mut holders = NodeList::new();
+                for s in e.sharers.iter() {
+                    holders.push(s);
+                }
                 if let Some(o) = e.owner {
                     if !holders.contains(&o) {
                         holders.push(o);
                     }
                 }
-                for k in holders {
+                for &k in holders.iter() {
                     // Recall: invalidate at the P-node; dirty/master data
                     // travels back.
                     if let Role::P(s) = &mut self.roles[k] {
@@ -834,18 +837,24 @@ impl AggSystem {
     /// Panics if `node` is not a P-node.
     pub fn convert_p_to_d(&mut self, node: NodeId, now: Cycle) -> (Cycle, u64) {
         assert!(self.p_list.contains(&node), "node {node} is not a P-node");
-        let cached = self.pstore(node).caches.drain_all();
-        for (line, st) in cached {
+        // Take the store out so its in-place drains don't borrow `self`
+        // across the flush calls below. The slot temporarily holds an empty
+        // P-store, which nothing on the flush path reads: `drop_shared` and
+        // `write_back` only touch the home D-nodes and the fabric.
+        let placeholder = Role::P(Box::new(Self::new_pstore(&self.cfg)));
+        let Role::P(mut store) = std::mem::replace(&mut self.roles[node], placeholder) else {
+            panic!("node {node} is a D-node, expected P")
+        };
+        for (line, st) in store.caches.drain_all() {
             if st == CState::Dirty {
-                if let Some(s) = self.pstore(node).am.peek_mut(line) {
+                if let Some(s) = store.am.peek_mut(line) {
                     *s = AmState::Dirty;
                 }
             }
         }
-        let resident = self.pstore(node).am.drain_all();
         let mut t = now;
         let mut flushed = 0u64;
-        for (line, st) in resident {
+        for (line, st) in store.am.drain_all() {
             match st {
                 AmState::Shared => self.drop_shared(node, line, t),
                 AmState::SharedMaster | AmState::Dirty => {

@@ -16,17 +16,15 @@
 //! walks over [`Txn`] steps so contended resources are booked in protocol
 //! order and every cycle of latency is attributed to a component.
 
-use std::collections::BTreeMap;
-
 use pimdsm_engine::{Cycle, Server, ServerGrant};
 use pimdsm_faults::{Durability, RecoveryStats};
-use pimdsm_mem::{line_of, CacheCfg, Line};
+use pimdsm_mem::{line_of, CacheCfg, ChunkedIndex, Line};
 use pimdsm_net::{Mesh, NetCfg, Network};
 use pimdsm_obs::breakdown::{NETWORK, QUEUE};
 
 use crate::common::{
     Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
-    MsgSize, NodeId, NodeSet, PreloadKind,
+    MsgSize, NodeId, NodeList, NodeSet, PreloadKind,
 };
 use crate::fabric::Fabric;
 use crate::pnode::{victim_class, PNodeStore, WriteProbe};
@@ -104,15 +102,91 @@ pub struct DirEntry {
     pub on_disk: bool,
 }
 
+/// Two-level directory storage: a chunked page index into an arena of
+/// per-page entry chunks (`lines_per_page` slots each). The hot lookup —
+/// one per coherence transaction — is two indexations instead of a
+/// sorted-map walk, and every sweep iterates pages and slots in
+/// ascending order: the same ascending-line order the previous
+/// `BTreeMap<Line, DirEntry>` produced, which the determinism guards
+/// pin down. Entries are never removed (a line's directory state
+/// persists for the run), so the arena needs no free list.
+#[derive(Debug)]
+struct ComaDir {
+    lpp: u64,
+    pages: ChunkedIndex,
+    slab: Vec<Box<[Option<DirEntry>]>>,
+}
+
+impl ComaDir {
+    fn new(lpp: u64) -> Self {
+        ComaDir {
+            lpp,
+            pages: ChunkedIndex::new(),
+            slab: Vec::new(),
+        }
+    }
+
+    fn get(&self, line: Line) -> Option<&DirEntry> {
+        let ci = self.pages.get(line / self.lpp)?;
+        self.slab[ci as usize][(line % self.lpp) as usize].as_ref()
+    }
+
+    fn get_mut(&mut self, line: Line) -> Option<&mut DirEntry> {
+        let ci = self.pages.get(line / self.lpp)?;
+        self.slab[ci as usize][(line % self.lpp) as usize].as_mut()
+    }
+
+    fn entry_or_default(&mut self, line: Line) -> &mut DirEntry {
+        let page = line / self.lpp;
+        let ci = match self.pages.get(page) {
+            Some(ci) => ci,
+            None => {
+                self.slab
+                    .push(vec![None; self.lpp as usize].into_boxed_slice());
+                let ci = (self.slab.len() - 1) as u32;
+                self.pages.insert(page, ci);
+                ci
+            }
+        };
+        self.slab[ci as usize][(line % self.lpp) as usize].get_or_insert_with(DirEntry::default)
+    }
+
+    fn contains(&self, line: Line) -> bool {
+        self.get(line).is_some()
+    }
+
+    /// All lines with an entry, ascending.
+    fn keys(&self) -> Vec<Line> {
+        self.iter_deterministic().map(|(l, _)| l).collect()
+    }
+
+    /// Iterates `(line, entry)` in ascending line order — the directory's
+    /// deterministic index order (sorted pages, ascending slots).
+    fn iter_deterministic(&self) -> impl Iterator<Item = (Line, &DirEntry)> {
+        self.pages.iter().flat_map(move |(page, ci)| {
+            self.slab[ci as usize]
+                .iter()
+                .enumerate()
+                .filter_map(move |(si, e)| e.as_ref().map(|e| (page * self.lpp + si as u64, e)))
+        })
+    }
+
+    /// Iterates entries in ascending line order.
+    fn values(&self) -> impl Iterator<Item = &DirEntry> {
+        self.iter_deterministic().map(|(_, e)| e)
+    }
+}
+
 /// The flat-COMA machine.
 #[derive(Debug)]
 pub struct ComaSystem {
     cfg: ComaCfg,
     nodes: Vec<PNodeStore>,
     ctrls: Vec<Server>,
-    // Sorted-key map: directory sweeps (the end-of-run census, the
-    // coherence oracle) must observe a deterministic order.
-    dir: BTreeMap<Line, DirEntry>,
+    // Two-level table: directory sweeps (the end-of-run census, the
+    // coherence oracle) must observe a deterministic ascending-line
+    // order, which the chunked storage yields by construction.
+    dir: ComaDir,
     fab: Fabric,
 }
 
@@ -143,7 +217,7 @@ impl ComaSystem {
         );
         ComaSystem {
             ctrls: (0..cfg.nodes).map(|_| Server::new()).collect(),
-            dir: BTreeMap::new(),
+            dir: ComaDir::new(fab.lines_per_page()),
             nodes,
             fab,
             cfg,
@@ -167,11 +241,11 @@ impl ComaSystem {
 
     /// The directory entry of a line, if one exists.
     pub fn dir_entry(&self, line: Line) -> Option<&DirEntry> {
-        self.dir.get(&line)
+        self.dir.get(line)
     }
 
     pub(crate) fn dir_lines(&self) -> Vec<Line> {
-        self.dir.keys().copied().collect()
+        self.dir.keys()
     }
 
     pub(crate) fn n_nodes(&self) -> usize {
@@ -323,7 +397,7 @@ impl ComaSystem {
     /// an asynchronous hint so the directory stops tracking us.
     fn drop_shared(&mut self, node: NodeId, line: Line, now: Cycle) {
         let home = self.fab.mapped_home(line);
-        if let Some(e) = self.dir.get_mut(&line) {
+        if let Some(e) = self.dir.get_mut(line) {
             e.sharers.remove(node);
         }
         if home != node {
@@ -339,23 +413,30 @@ impl ComaSystem {
     fn inject(&mut self, node: NodeId, line: Line, state: AmState, provider: NodeId, now: Cycle) {
         let home = self.fab.mapped_home(line);
 
-        let mut candidates: Vec<NodeId> = Vec::with_capacity(self.cfg.nodes + 1);
+        let mut candidates = NodeList::new();
         for c in [provider, home] {
             if c != node && !candidates.contains(&c) && !self.fab.dead.contains(c) {
                 candidates.push(c);
             }
         }
-        let mut others: Vec<NodeId> = (0..self.cfg.nodes)
+        let mut others = NodeList::new();
+        for c in (0..self.cfg.nodes)
             .filter(|&c| c != node && !candidates.contains(&c) && !self.fab.dead.contains(c))
-            .collect();
-        others.sort_by_key(|&c| (self.fab.net.hops(node, c), c));
-        candidates.extend(others);
+        {
+            others.push(c);
+        }
+        // Keys are unique per candidate, so the unstable (allocation-free)
+        // sort is deterministic.
+        others.sort_unstable_by_key(|&c| (self.fab.net.hops(node, c), c));
+        for &c in others.iter() {
+            candidates.push(c);
+        }
 
         let data = self.fab.msg_data();
         if candidates.is_empty() {
             // Single-node machine: nowhere to inject, spill to disk.
             self.fab.stats.disk_spills += 1;
-            let e = self.dir.entry(line).or_default();
+            let e = self.dir.entry_or_default(line);
             e.sharers.remove(node);
             e.owner = None;
             e.master = None;
@@ -404,7 +485,7 @@ impl ComaSystem {
                 // room).
                 _ => {
                     self.fab.stats.disk_spills += 1;
-                    let ve = self.dir.entry(sv.line).or_default();
+                    let ve = self.dir.entry_or_default(sv.line);
                     ve.sharers.clear();
                     ve.owner = None;
                     ve.master = None;
@@ -413,7 +494,7 @@ impl ComaSystem {
             }
         }
         self.mem_access(c, line, g.start);
-        let e = self.dir.entry(line).or_default();
+        let e = self.dir.entry_or_default(line);
         match state {
             AmState::Dirty => {
                 e.owner = Some(c);
@@ -451,7 +532,7 @@ impl ComaSystem {
     fn fill_caches(&mut self, node: NodeId, line: Line, state: CState) {
         let victim = self.nodes[node].fill_caches(line, state);
         if let Some((vline, CState::Dirty)) = victim {
-            let e = self.dir.entry(vline).or_default();
+            let e = self.dir.entry_or_default(vline);
             e.owner = Some(node);
             e.master = Some(node);
         }
@@ -473,11 +554,11 @@ impl ComaSystem {
     fn upgrade_round(&mut self, tx: &mut Txn, node: NodeId, line: Line) -> Level {
         let home = self.home_of(line, node);
         self.await_recovery(tx, node, line);
-        if std::mem::take(&mut self.dir.entry(line).or_default().on_disk) {
+        if std::mem::take(&mut self.dir.entry_or_default(line).on_disk) {
             self.purge_stale(node, line);
         }
-        let e = self.dir.entry(line).or_default();
-        let targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
+        let e = self.dir.entry_or_default(line);
+        let targets = NodeList::sharers_except(&e.sharers, node);
         e.sharers = NodeSet::singleton(node);
         e.owner = Some(node);
         e.master = Some(node);
@@ -522,7 +603,7 @@ impl ComaSystem {
 
         let home = self.home_of(line, node);
         self.await_recovery(&mut tx, node, line);
-        let e = self.dir.get(&line).copied().unwrap_or_default();
+        let e = self.dir.get(line).copied().unwrap_or_default();
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();
 
@@ -535,7 +616,7 @@ impl ComaSystem {
             tx.disk(&self.fab);
             tx.send(&mut self.fab, home, node, data);
             self.purge_stale(node, line);
-            let de = self.dir.entry(line).or_default();
+            let de = self.dir.entry_or_default(line);
             de.on_disk = false;
             de.master = Some(node);
             de.sharers = NodeSet::singleton(node);
@@ -555,7 +636,7 @@ impl ComaSystem {
             if let Some(s) = self.nodes[k].am.peek_mut(line) {
                 *s = AmState::SharedMaster;
             }
-            let de = self.dir.entry(line).or_default();
+            let de = self.dir.entry_or_default(line);
             de.owner = None;
             de.master = Some(k);
             de.sharers = NodeSet::singleton(k);
@@ -568,11 +649,11 @@ impl ComaSystem {
             tx.handler(g);
             let supplier = self.pick_supplier(node, home, m_node, line);
             let lvl = self.supply_from(&mut tx, node, home, supplier, line, true);
-            self.dir.entry(line).or_default().sharers.insert(node);
+            self.dir.entry_or_default(line).sharers.insert(node);
             (supplier, lvl, AmState::Shared)
         } else {
             // First touch: the line materializes (cold/zero data).
-            let de = self.dir.entry(line).or_default();
+            let de = self.dir.entry_or_default(line);
             de.master = Some(node);
             de.sharers = NodeSet::singleton(node);
             let lvl = self.cold_round(&mut tx, node, home, HandlerKind::Read);
@@ -640,10 +721,10 @@ impl ComaSystem {
         // Full read-exclusive: fetch data and invalidate everyone.
         let home = self.home_of(line, node);
         self.await_recovery(&mut tx, node, line);
-        let e = self.dir.get(&line).copied().unwrap_or_default();
+        let e = self.dir.get(line).copied().unwrap_or_default();
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();
-        let mut targets: Vec<NodeId> = e.sharers.iter().filter(|&s| s != node).collect();
+        let mut targets = NodeList::sharers_except(&e.sharers, node);
         // Handler cost covers the pre-retain fan-out size.
         let n_inv = targets.len() as u32;
 
@@ -656,7 +737,7 @@ impl ComaSystem {
             tx.disk(&self.fab);
             tx.send(&mut self.fab, home, node, data);
             self.purge_stale(node, line);
-            self.dir.entry(line).or_default().on_disk = false;
+            self.dir.entry_or_default(line).on_disk = false;
             let lvl = if home == node {
                 Level::LocalMem
             } else {
@@ -690,7 +771,7 @@ impl ComaSystem {
             (home, lvl)
         };
 
-        let de = self.dir.entry(line).or_default();
+        let de = self.dir.entry_or_default(line);
         de.owner = Some(node);
         de.master = Some(node);
         de.sharers = NodeSet::singleton(node);
@@ -768,9 +849,9 @@ impl MemSystem for ComaSystem {
         // Scrub every directory entry naming the victim: re-elect
         // mastership onto a surviving sharer, write dirty data off to
         // disk-resident state when no copy survives.
-        let lines: Vec<Line> = self.dir.keys().copied().collect();
+        let lines: Vec<Line> = self.dir.keys();
         for line in lines {
-            let e = self.dir.get_mut(&line).expect("swept key");
+            let e = self.dir.get_mut(line).expect("swept key");
             if e.owner == Some(node) {
                 e.owner = None;
                 e.master = None;
@@ -850,7 +931,7 @@ impl MemSystem for ComaSystem {
     fn preload(&mut self, addr: u64, owner: NodeId, kind: PreloadKind) {
         let line = line_of(addr, self.cfg.line_shift);
         self.home_of(line, owner);
-        if self.dir.contains_key(&line) {
+        if self.dir.contains(line) {
             return;
         }
         // COMA has no backing store: the pre-existing copy must live in
@@ -873,7 +954,7 @@ impl MemSystem for ComaSystem {
         for c in candidates {
             if self.nodes[c].am.has_room_for(line) {
                 self.nodes[c].am.insert(line, state, victim_class);
-                let e = self.dir.entry(line).or_default();
+                let e = self.dir.entry_or_default(line);
                 e.master = Some(c);
                 e.sharers = NodeSet::singleton(c);
                 if state == AmState::Dirty {
@@ -883,7 +964,7 @@ impl MemSystem for ComaSystem {
             }
         }
         // Pathological set pressure everywhere: the copy sits on disk.
-        self.dir.entry(line).or_default().on_disk = true;
+        self.dir.entry_or_default(line).on_disk = true;
         self.fab.stats.disk_spills += 1;
     }
 }

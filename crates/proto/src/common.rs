@@ -92,6 +92,95 @@ impl NodeSet {
     }
 }
 
+/// A fixed-capacity list of node ids, bounded by [`NodeSet::MAX_NODES`].
+///
+/// Protocol hot paths (write invalidations, page-out recalls) collect
+/// small target sets per transaction; an inline array keeps those
+/// collections allocation-free. Derefs to a slice, so all read-only
+/// slice methods (`len`, `first`, `contains`, iteration) apply.
+///
+/// # Examples
+///
+/// ```
+/// use pimdsm_proto::NodeList;
+///
+/// let mut l = NodeList::new();
+/// l.push(3);
+/// l.push(17);
+/// l.retain(|&n| n != 3);
+/// assert_eq!(&l[..], &[17]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NodeList {
+    nodes: [NodeId; NodeSet::MAX_NODES],
+    len: usize,
+}
+
+impl NodeList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        NodeList {
+            nodes: [0; NodeSet::MAX_NODES],
+            len: 0,
+        }
+    }
+
+    /// Appends a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`NodeSet::MAX_NODES`] entries.
+    pub fn push(&mut self, node: NodeId) {
+        self.nodes[self.len] = node;
+        self.len += 1;
+    }
+
+    /// Collects the members of `set` except `exclude` — the usual
+    /// invalidation fan-out: every sharer but the requester.
+    pub fn sharers_except(set: &NodeSet, exclude: NodeId) -> NodeList {
+        let mut l = NodeList::new();
+        for s in set.iter() {
+            if s != exclude {
+                l.push(s);
+            }
+        }
+        l
+    }
+
+    /// Keeps only the nodes for which `keep` returns true, preserving
+    /// order.
+    pub fn retain(&mut self, mut keep: impl FnMut(&NodeId) -> bool) {
+        let mut w = 0;
+        for r in 0..self.len {
+            if keep(&self.nodes[r]) {
+                self.nodes[w] = self.nodes[r];
+                w += 1;
+            }
+        }
+        self.len = w;
+    }
+}
+
+impl Default for NodeList {
+    fn default() -> Self {
+        NodeList::new()
+    }
+}
+
+impl std::ops::Deref for NodeList {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        &self.nodes[..self.len]
+    }
+}
+
+impl std::ops::DerefMut for NodeList {
+    fn deref_mut(&mut self) -> &mut [NodeId] {
+        &mut self.nodes[..self.len]
+    }
+}
+
 /// Level of the memory hierarchy that satisfied a read — the categories of
 /// the paper's Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

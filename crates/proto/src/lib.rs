@@ -55,7 +55,7 @@ pub use check::{check_agg, check_coma, check_numa};
 pub use coma::{ComaCfg, ComaSystem};
 pub use common::{
     Access, AmState, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level,
-    MsgSize, NodeId, NodeSet, PreloadKind, ProtoStats,
+    MsgSize, NodeId, NodeList, NodeSet, PreloadKind, ProtoStats,
 };
 pub use dnode::DNode;
 pub use fabric::Fabric;

@@ -24,7 +24,7 @@ use pimdsm_obs::breakdown::{NETWORK, QUEUE};
 
 use crate::common::{
     Access, CState, Census, ControllerKind, HandlerCosts, HandlerKind, LatencyCfg, Level, MsgSize,
-    NodeId, NodeSet, PreloadKind,
+    NodeId, NodeList, NodeSet, PreloadKind,
 };
 use crate::fabric::Fabric;
 use crate::pnode::{OnChipLru, PrivCaches, WriteProbe};
@@ -353,7 +353,7 @@ impl NumaSystem {
                 let home = self.home_of(line, node);
                 self.await_recovery(&mut tx, node, line);
                 let entry = self.dir.entry(line).or_default();
-                let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
+                let targets = NodeList::sharers_except(&entry.sharers, node);
                 entry.sharers = NodeSet::singleton(node);
                 entry.owner = Some(node);
                 let n_inv = targets.len() as u32;
@@ -387,7 +387,7 @@ impl NumaSystem {
         let home = self.home_of(line, node);
         self.await_recovery(&mut tx, node, line);
         let entry = self.dir.get(&line).copied().unwrap_or_default();
-        let targets: Vec<NodeId> = entry.sharers.iter().filter(|&s| s != node).collect();
+        let targets = NodeList::sharers_except(&entry.sharers, node);
         let n_inv = targets.len() as u32;
         let ctrl = self.fab.msg_ctrl();
         let data = self.fab.msg_data();

@@ -187,11 +187,9 @@ impl PrivCaches {
     /// Drains both caches, returning every line with its strongest state
     /// (used when a node is reconfigured).
     pub fn drain_all(&mut self) -> Vec<(Line, CState)> {
-        let l1: std::collections::BTreeMap<Line, CState> =
-            self.l1.drain_all().into_iter().collect();
+        let l1: std::collections::BTreeMap<Line, CState> = self.l1.drain_all().collect();
         self.l2
             .drain_all()
-            .into_iter()
             .map(|(line, st)| {
                 let strongest = match l1.get(&line) {
                     Some(CState::Dirty) => CState::Dirty,
