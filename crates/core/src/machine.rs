@@ -661,9 +661,8 @@ impl Machine {
                 self.queue.push(done, tid);
             }
             Op::Gather(b) => {
-                let addrs: Vec<u64> = b.addrs().to_vec();
                 let done =
-                    self.exec_load_window(tid, now, |i| addrs[i as usize], addrs.len() as u32);
+                    self.exec_load_window(tid, now, |i| b.addrs()[i as usize], b.len() as u32);
                 self.queue.push(done, tid);
             }
             Op::Store(a) => {
@@ -782,18 +781,29 @@ impl Machine {
         count: u32,
     ) -> Cycle {
         let node = self.threads[tid].node;
-        let mut window: VecDeque<Cycle> = VecDeque::with_capacity(LOAD_WINDOW);
+        // Fixed ring of completion times: `head` is the oldest in-flight
+        // load once the window has filled. Loads issue and retire in FIFO
+        // order, so this reproduces the old deque exactly without an
+        // allocation per batch.
+        let mut window = [0 as Cycle; LOAD_WINDOW];
+        let mut filled = 0usize;
+        let mut head = 0usize;
         let mut last_done = now;
         for i in 0..count as u64 {
-            let issue = if window.len() == LOAD_WINDOW {
-                let free_at = window.pop_front().expect("window full");
-                free_at.max(now + i)
+            let issue = if filled == LOAD_WINDOW {
+                window[head].max(now + i)
             } else {
                 now + i
             };
             let acc = self.system.sys().read(node, addr_of(i), issue);
             let done = self.degraded(&acc);
-            window.push_back(done);
+            if filled == LOAD_WINDOW {
+                window[head] = done;
+                head = (head + 1) % LOAD_WINDOW;
+            } else {
+                window[filled] = done;
+                filled += 1;
+            }
             last_done = last_done.max(done);
         }
         // Issue slots are Processor time; the remainder of the span is

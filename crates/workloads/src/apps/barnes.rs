@@ -140,14 +140,15 @@ impl Workload for Barnes {
                         count: n as u32,
                     });
                     out.push(Op::Compute(40 * n));
-                    let mut addrs = Vec::with_capacity(16);
-                    for _ in 0..n.min(16) {
+                    let mut addrs = [0u64; 16];
+                    let na = n.min(16) as usize;
+                    for a in &mut addrs[..na] {
                         let cell = app.zipf.sample(&mut rng) as u64;
-                        addrs.push(app.tree.at(cell * app.cell_bytes));
+                        *a = app.tree.at(cell * app.cell_bytes);
                     }
                     let lock = (rng.range(0, 64)) as u32;
                     out.push(Op::Lock(lock));
-                    out.push(Op::Scatter(Batch::new(&addrs)));
+                    out.push(Op::Scatter(Batch::new(&addrs[..na])));
                     out.push(Op::Unlock(lock));
                 }
                 Phase::Force => {
@@ -159,10 +160,10 @@ impl Workload for Barnes {
                         count: n as u32,
                     });
                     for _ in 0..n {
-                        let mut addrs = Vec::with_capacity(12);
-                        for _ in 0..12 {
+                        let mut addrs = [0u64; 12];
+                        for a in &mut addrs {
                             let cell = app.zipf.sample(&mut rng) as u64;
-                            addrs.push(app.tree.at(cell * app.cell_bytes));
+                            *a = app.tree.at(cell * app.cell_bytes);
                         }
                         out.push(Op::Gather(Batch::new(&addrs)));
                         out.push(Op::Compute(120));

@@ -229,17 +229,19 @@ impl Workload for Dbase {
                             reply_bytes: (matches * 8) as u32,
                         });
                         // Fetch just the matching records.
-                        let mut addrs = Vec::with_capacity(16);
+                        let mut addrs = [0u64; 16];
+                        let mut na = 0;
                         for _ in 0..matches {
                             let r = rng.range(0, records);
-                            addrs.push(base + r * app.record_bytes);
-                            if addrs.len() == 16 {
+                            addrs[na] = base + r * app.record_bytes;
+                            na += 1;
+                            if na == 16 {
                                 out.push(Op::Gather(Batch::new(&addrs)));
-                                addrs.clear();
+                                na = 0;
                             }
                         }
-                        if !addrs.is_empty() {
-                            out.push(Op::Gather(Batch::new(&addrs)));
+                        if na > 0 {
+                            out.push(Op::Gather(Batch::new(&addrs[..na])));
                         }
                     } else {
                         out.push(Op::LoadBatch {

@@ -151,10 +151,10 @@ impl Workload for Fft {
                     });
                     // Each butterfly stage consumes twiddle factors from
                     // the shared roots array.
-                    let mut tw = Vec::with_capacity(8);
-                    for _ in 0..8 {
+                    let mut tw = [0u64; 8];
+                    for t in &mut tw {
                         let l = app.roots_zipf.sample(&mut rng) as u64;
-                        tw.push(app.roots.at(l * 64));
+                        *t = app.roots.at(l * 64);
                     }
                     out.push(Op::Gather(Batch::new(&tw)));
                     out.push(Op::Compute(app.compute_per_line * lines as u64));

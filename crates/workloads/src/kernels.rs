@@ -136,11 +136,11 @@ impl Workload for HotSpot {
                 return false;
             }
             let n = 16.min(total - done);
-            let mut addrs = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                addrs.push(region.at(rng.range(0, region.bytes() / 64) * 64));
+            let mut addrs = [0u64; 16];
+            for a in &mut addrs[..n as usize] {
+                *a = region.at(rng.range(0, region.bytes() / 64) * 64);
             }
-            out.push(Op::Scatter(Batch::new(&addrs)));
+            out.push(Op::Scatter(Batch::new(&addrs[..n as usize])));
             out.push(Op::Compute(20));
             done += n;
             true
@@ -205,11 +205,11 @@ impl Workload for SharedRead {
                 return false;
             }
             let n = 16.min(total - done);
-            let mut addrs = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                addrs.push(region.at(rng.range(0, region.bytes() / 64) * 64));
+            let mut addrs = [0u64; 16];
+            for a in &mut addrs[..n as usize] {
+                *a = region.at(rng.range(0, region.bytes() / 64) * 64);
             }
-            out.push(Op::Gather(Batch::new(&addrs)));
+            out.push(Op::Gather(Batch::new(&addrs[..n as usize])));
             out.push(Op::Compute(30));
             done += n;
             true

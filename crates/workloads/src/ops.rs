@@ -211,10 +211,14 @@ pub enum PreloadKind {
 /// Adapter turning a chunked refill closure into a [`ThreadGen`].
 ///
 /// Generators produce one "iteration" worth of ops per refill call, which
-/// keeps per-thread memory bounded however long the run is.
+/// keeps per-thread memory bounded however long the run is. The chunk
+/// buffer is pooled: each refill writes into the same `Vec`, cleared but
+/// with its capacity kept, so a thread allocates once at warm-up and then
+/// streams ops allocation-free no matter how many chunks it produces.
 pub struct ChunkGen<R> {
     refill: R,
-    buf: std::collections::VecDeque<Op>,
+    buf: Vec<Op>,
+    pos: usize,
     done: bool,
 }
 
@@ -224,7 +228,8 @@ impl<R: FnMut(&mut Vec<Op>) -> bool> ChunkGen<R> {
     pub fn new(refill: R) -> Self {
         ChunkGen {
             refill,
-            buf: std::collections::VecDeque::new(),
+            buf: Vec::new(),
+            pos: 0,
             done: false,
         }
     }
@@ -233,17 +238,19 @@ impl<R: FnMut(&mut Vec<Op>) -> bool> ChunkGen<R> {
 impl<R: FnMut(&mut Vec<Op>) -> bool> ThreadGen for ChunkGen<R> {
     fn next_op(&mut self) -> Option<Op> {
         loop {
-            if let Some(op) = self.buf.pop_front() {
+            if self.pos < self.buf.len() {
+                let op = self.buf[self.pos];
+                self.pos += 1;
                 return Some(op);
             }
             if self.done {
                 return None;
             }
-            let mut v = Vec::new();
-            if !(self.refill)(&mut v) {
+            self.buf.clear();
+            self.pos = 0;
+            if !(self.refill)(&mut self.buf) {
                 self.done = true;
             }
-            self.buf.extend(v);
             if self.buf.is_empty() && self.done {
                 return None;
             }
@@ -314,6 +321,29 @@ mod tests {
         });
         assert_eq!(g.next_op(), Some(Op::Compute(7)));
         assert_eq!(g.next_op(), None);
+    }
+
+    #[test]
+    fn chunkgen_reuses_its_buffer_across_refills() {
+        let mut n = 0u64;
+        let mut g = ChunkGen::new(move |out: &mut Vec<Op>| {
+            if n == 100 {
+                return false;
+            }
+            for i in 0..4 {
+                out.push(Op::Compute(n * 4 + i));
+            }
+            n += 1;
+            true
+        });
+        assert_eq!(g.next_op(), Some(Op::Compute(0)));
+        let cap = g.buf.capacity();
+        let mut count = 1;
+        while g.next_op().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 400);
+        assert_eq!(g.buf.capacity(), cap, "chunk buffer must be pooled");
     }
 
     #[test]
