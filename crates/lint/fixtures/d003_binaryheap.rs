@@ -1,0 +1,40 @@
+//! Known-bad: heap-ordered hot path and an order-less arena (D003).
+//! Scanned by the fixture tests *as if* this file were `crates/mem/src/`.
+
+use std::collections::BinaryHeap;
+
+pub struct PendingEvents {
+    // Equal-time events pop in heap-shape order, and every push allocates
+    // a node's worth of growth on the hottest simulator path.
+    heap: BinaryHeap<(u64, u64)>,
+}
+
+impl PendingEvents {
+    pub fn new() -> Self {
+        PendingEvents {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    pub fn push(&mut self, time: u64, payload: u64) {
+        self.heap.push((time, payload));
+    }
+}
+
+pub struct TagArena {
+    // An arena with no iter_deterministic(): sweeps fall back to ad-hoc
+    // orders that leak insertion history into simulated time.
+    slab: Vec<Option<u64>>,
+}
+
+impl TagArena {
+    pub fn new(slots: usize) -> Self {
+        TagArena {
+            slab: vec![None; slots],
+        }
+    }
+
+    pub fn occupied(&self) -> usize {
+        self.slab.iter().filter(|s| s.is_some()).count()
+    }
+}

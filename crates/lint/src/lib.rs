@@ -189,6 +189,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags: Vec<Diagnostic> = [
         rules::d001(ws),
         rules::d002(ws),
+        rules::d003(ws),
         rules::t001(ws),
         rules::s001(ws),
         rules::o001(ws),

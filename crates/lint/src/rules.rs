@@ -21,6 +21,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no wall-clock or ambient randomness (Instant::now, SystemTime, thread_rng, RandomState) outside lab/bench/test code",
     ),
     (
+        "D003",
+        "no BinaryHeap in simulation crates (use the engine's bucket queue); arena `slab` fields must expose iter_deterministic()",
+    ),
+    (
         "T001",
         "every function that constructs a Txn must reach .finish(...) on its return paths",
     ),
@@ -115,6 +119,56 @@ pub fn d002(ws: &Workspace) -> Vec<Diagnostic> {
                     ),
                 });
             }
+        }
+    }
+    out
+}
+
+/// D003 — hot-path data-structure discipline in simulation crates.
+///
+/// Two checks. (a) No `BinaryHeap`: equal-priority pops come out in
+/// heap-shape order (insertion-history dependent), and its per-push node
+/// churn allocates on the hottest simulator path —
+/// `pimdsm_engine::EventQueue` (a bucket calendar with explicit
+/// `(time, seq)` FIFO ties) is the replacement. (b) A file that declares
+/// an arena (a field named `slab`) must expose an `iter_deterministic()`
+/// accessor: slab sweeps otherwise tempt callers into ad-hoc orders
+/// (free-list order, occupancy order) that leak insertion history into
+/// simulated time.
+pub fn d003(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for entry in &ws.files {
+        if !is_sim(&entry.krate) || entry.is_test_code {
+            continue;
+        }
+        for off in find_keyword(&entry.file.masked, "BinaryHeap") {
+            if entry.file.in_test_region(off) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "D003",
+                rel: entry.file.rel.clone(),
+                line: entry.file.line_of(off),
+                msg: format!(
+                    "`BinaryHeap` in simulation crate `{}`: equal-priority pops depend on heap shape and every push allocates; use pimdsm_engine::EventQueue (deterministic (time, seq) order, pooled buckets)",
+                    entry.krate
+                ),
+            });
+        }
+        let slab_uses: Vec<usize> = find_keyword(&entry.file.masked, "slab")
+            .into_iter()
+            .filter(|&off| !entry.file.in_test_region(off))
+            .collect();
+        if !slab_uses.is_empty() && !entry.file.masked.contains("iter_deterministic(") {
+            out.push(Diagnostic {
+                rule: "D003",
+                rel: entry.file.rel.clone(),
+                line: entry.file.line_of(slab_uses[0]),
+                msg: format!(
+                    "arena `slab` in simulation crate `{}` has no `iter_deterministic()` accessor: without one canonical index order, slab sweeps leak insertion history into simulated time",
+                    entry.krate
+                ),
+            });
         }
     }
     out

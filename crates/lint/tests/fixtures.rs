@@ -95,6 +95,40 @@ fn d002_fires_on_wall_clock_and_randomness() {
 }
 
 #[test]
+fn d003_fires_on_binaryheap_and_orderless_arenas() {
+    let diags = scan_fixture("d003_binaryheap.rs", "mem");
+    assert!(diags.iter().all(|d| d.rule == "D003"), "{diags:?}");
+    // Import, field declaration, two constructor/use sites — plus the
+    // arena-without-iter_deterministic finding.
+    assert!(diags.len() >= 4, "{diags:?}");
+    let import = line_of("d003_binaryheap.rs", "use std::collections");
+    assert!(
+        diags.iter().any(|d| d.line == import),
+        "span points at the import: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.msg.contains("EventQueue")),
+        "suggests the engine queue: {diags:?}"
+    );
+    let slab = line_of("d003_binaryheap.rs", "slab: Vec<Option<u64>>");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == slab && d.msg.contains("iter_deterministic")),
+        "orderless arena reported at its field: {diags:?}"
+    );
+}
+
+#[test]
+fn d003_does_not_fire_outside_simulation_crates() {
+    let diags = scan_fixture("d003_binaryheap.rs", "lab");
+    assert!(
+        diags.iter().all(|d| d.rule != "D003"),
+        "lab is orchestration, not sim path: {diags:?}"
+    );
+}
+
+#[test]
 fn t001_fires_on_unfinished_txn_walks() {
     let diags = scan_fixture("t001_txn_leak.rs", "proto");
     assert!(diags.iter().all(|d| d.rule == "T001"), "{diags:?}");
@@ -204,7 +238,7 @@ fn cli_exits_zero_on_clean_workspace_and_lists_rules() {
         .output()
         .expect("run pimdsm-lint --list");
     let text = String::from_utf8_lossy(&list.stdout);
-    for id in ["D001", "D002", "T001", "S001", "O001", "P001"] {
+    for id in ["D001", "D002", "D003", "T001", "S001", "O001", "P001"] {
         assert!(text.contains(id), "--list names {id}");
     }
 }

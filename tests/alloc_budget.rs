@@ -1,0 +1,75 @@
+//! Allocation budget guard for the hot path.
+//!
+//! The data-layout work (bucket event queue, slab caches, chunked page
+//! table, pooled workload buffers, fixed-capacity node lists) took the
+//! steady-state simulation loop to near-zero heap traffic: what remains
+//! is machine construction plus a handful of cold-path sweeps. This test
+//! pins that property with a *committed ceiling* on the allocation count
+//! of one Figure 6 point, so a regression that reintroduces per-event or
+//! per-transaction allocation fails CI instead of silently eroding the
+//! speedup.
+//!
+//! This file is its own integration-test binary on purpose: the counting
+//! allocator tallies process-wide, and sibling tests allocating on other
+//! threads would charge our window. Keep it to a single `#[test]`.
+
+use pimdsm_lab::{find, SuiteCtx};
+use pimdsm_workloads::Scale;
+
+/// Committed ceiling on allocation calls for one CI-scale fig6 AGG point
+/// (measured ~0.6k after the arena/SoA refactor; the slack covers small
+/// legitimate drift, not a per-event regression — this point runs
+/// hundreds of thousands of events, so even one allocation per event
+/// blows the budget a hundred times over).
+const ALLOC_CEILING: u64 = 10_000;
+
+/// Ceiling on allocated bytes for the same point (measured ~1.4 MB).
+/// Dominated by the machine's fixed arenas (slab caches, page-table
+/// chunks, bucket windows), so it scales with configuration, not with
+/// simulated work.
+const BYTE_CEILING: u64 = 8 << 20;
+
+#[test]
+fn fig6_point_stays_under_the_committed_alloc_budget() {
+    if !pimdsm_prof::alloc::counting_enabled() {
+        eprintln!("skipped: count-alloc is not linked in");
+        return;
+    }
+
+    let ctx = SuiteCtx {
+        threads: 4,
+        scale: Scale::ci(),
+    };
+    let points = find("fig6").expect("fig6 suite exists").points(&ctx);
+    let point = points
+        .iter()
+        .find(|p| p.label.contains("1/2AGG75"))
+        .expect("fig6 has the 1/2AGG75 point");
+
+    // Warm-up run: suite registries, workload tables and other one-time
+    // lazy state must not count against the per-point budget.
+    let warm = point.build_machine().run();
+    assert!(warm.total_cycles > 0, "the warm-up actually simulated");
+
+    let before = pimdsm_prof::alloc::totals();
+    let report = point.build_machine().run();
+    let after = pimdsm_prof::alloc::totals();
+
+    let allocs = after.allocs - before.allocs;
+    let bytes = after.bytes - before.bytes;
+    assert_eq!(
+        warm.total_cycles, report.total_cycles,
+        "both runs simulate the same machine"
+    );
+    eprintln!("fig6/{}: {allocs} allocs, {bytes} bytes", point.label);
+    assert!(
+        allocs <= ALLOC_CEILING,
+        "one fig6 point made {allocs} allocations (budget {ALLOC_CEILING}): \
+         something on the simulation path allocates per event or per \
+         transaction again"
+    );
+    assert!(
+        bytes <= BYTE_CEILING,
+        "one fig6 point allocated {bytes} bytes (budget {BYTE_CEILING})"
+    );
+}
