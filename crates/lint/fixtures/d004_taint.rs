@@ -1,0 +1,22 @@
+//! Known-bad: determinism taint flowing into the simulation path
+//! (D004). The wall-clock read hides behind a (mistaken) D002 allow, so
+//! only interprocedural taint propagation catches the callers.
+
+/// Direct source: reads the wall clock. The D002 allow below silences
+/// the per-site rule — taint propagation is deliberately unimpressed.
+fn host_millis() -> u64 {
+    // pimdsm-lint: allow(D002, "fixture: mistaken 'host-side telemetry' justification")
+    std::time::SystemTime::now().elapsed().unwrap().as_millis() as u64
+}
+
+/// Transitively tainted: never touches a clock itself, yet its result
+/// varies run to run through the helper.
+pub fn jitter_seed(node: usize) -> u64 {
+    host_millis() ^ node as u64
+}
+
+/// Escape hatch: tainted on purpose, with the reason on record.
+// pimdsm-lint: allow(D004, "fixture: debug-only wall-clock stamp, never feeds simulated time")
+pub fn debug_stamp() -> u64 {
+    host_millis()
+}

@@ -1,0 +1,15 @@
+//! Known-bad regression: a rebind (`let tx = Txn::start(..)` twice)
+//! drops the first walk with no `return` statement involved. The old
+//! T001 keyed every check off the *first* `let` and missed this
+//! entirely; the fix tracks each construction's own binding.
+
+use crate::fabric::Fabric;
+use crate::txn::{Txn, TxnKind};
+
+/// The first walk is dropped at the second `let`: only the rebound
+/// transaction ever finishes.
+pub fn shadowed_rebind(fab: &mut Fabric, node: usize, line: u64, now: u64) -> u64 {
+    let tx = Txn::start(node, line, now);
+    let tx = Txn::start(node, line + 1, now);
+    tx.finish(fab, Level::LocalMem, TxnKind::Read, false).done_at
+}

@@ -1,0 +1,36 @@
+//! Known-bad: Txn walks that escape their function without finishing
+//! (T002). Every leak here is invisible to per-function T001 — the body
+//! that constructs each walk does call `.finish(` somewhere, or hands
+//! the walk to a helper — and only the call graph exposes the drop.
+
+use crate::fabric::Fabric;
+use crate::txn::{Txn, TxnKind};
+
+/// Receives a walk by value and drops it on the floor: the span, read
+/// statistics and latency breakdown all vanish with it.
+pub fn forward_and_forget(fab: &mut Fabric, tx: Txn, now: u64) -> u64 {
+    let _ = fab;
+    now
+}
+
+/// Clean under T001 (the body finishes *a* walk and moves the other
+/// onward), but the helper above never finishes what it is handed.
+pub fn read_via_helper(fab: &mut Fabric, node: usize, line: u64, now: u64) -> u64 {
+    let tx = Txn::start(node, line, now);
+    let probe = Txn::start(node, line + 1, now);
+    probe.finish(fab, Level::LocalMem, TxnKind::Read, false);
+    forward_and_forget(fab, tx, now)
+}
+
+/// Parking a walk in a struct defers it past the event that started it:
+/// the parallel engine cannot window a half-finished walk.
+pub struct ParkedWalk {
+    pub txn: Txn,
+    pub retries: u32,
+}
+
+/// Escape hatch: a deliberately parked walk, with its reason on record.
+pub struct ParkedAllowed {
+    // pimdsm-lint: allow(T002, "fixture: recovery parks the walk across a rejoin window by design")
+    pub txn: Txn,
+}

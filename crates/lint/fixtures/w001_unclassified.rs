@@ -1,0 +1,35 @@
+//! Known-bad: event-handler-reachable `&mut` state outside the W001
+//! mesh-region tables. The parallel-engine audit is only trustworthy if
+//! every mutable type the handlers can touch has a declared region.
+
+/// A stateful widget no region bucket claims.
+pub struct Gizmo {
+    pub twists: u64,
+}
+
+impl Gizmo {
+    pub fn twist(&mut self) {
+        self.twists += 1;
+    }
+}
+
+/// Same shape, but hand-audited through the escape hatch.
+pub struct Whatsit {
+    pub spins: u64,
+}
+
+impl Whatsit {
+    // pimdsm-lint: allow(W001, "fixture: hand-audited scratch state, local to one event")
+    pub fn spin(&mut self) {
+        self.spins += 1;
+    }
+}
+
+impl Machine {
+    /// An event-handler root (the audit keys on `Machine::step` by
+    /// name): both widgets become handler-reachable through it.
+    pub fn step(&mut self, g: &mut Gizmo, w: &mut Whatsit) {
+        g.twist();
+        w.spin();
+    }
+}

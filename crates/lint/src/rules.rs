@@ -25,8 +25,16 @@ pub const RULES: &[(&str, &str)] = &[
         "no BinaryHeap in simulation crates (use the engine's bucket queue); arena `slab` fields must expose iter_deterministic()",
     ),
     (
+        "D004",
+        "determinism taint: wall-clock/randomness/env/thread-id/pointer-derived values must not reach simulation crates through any call chain",
+    ),
+    (
         "T001",
         "every function that constructs a Txn must reach .finish(...) on its return paths",
+    ),
+    (
+        "T002",
+        "interprocedural Txn escape: by-value Txn params, Txn-producing call sites and struct fields must reach .finish(...) across the call graph",
     ),
     (
         "S001",
@@ -39,6 +47,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "P001",
         "every prof::phase!(...) name must be registered in pimdsm-prof's phase registry (and vice versa)",
+    ),
+    (
+        "W001",
+        "shared-state audit: every &mut type reachable from the engine event handlers must be classified into a mesh-region bucket",
     ),
     (
         "L000",
@@ -203,50 +215,77 @@ pub fn t001(ws: &Workspace) -> Vec<Diagnostic> {
 
 fn check_txn_fn(entry: &FileEntry, f: &FnSpan) -> Vec<Diagnostic> {
     let body = &entry.file.masked[f.body_start..f.body_end];
-    let Some(first_start) = body.find("Txn::start") else {
+    let starts = find_pattern(body, "Txn::start");
+    if starts.is_empty() {
         return Vec::new();
-    };
+    }
     let mut out = Vec::new();
     if !body.contains(".finish(") {
-        out.push(Diagnostic {
-            rule: "T001",
-            rel: entry.file.rel.clone(),
-            line: entry.file.line_of(f.body_start + first_start),
-            msg: format!(
-                "`{}` constructs a Txn but never calls .finish(...): the walk's trace span, read statistics and latency breakdown are silently dropped",
-                f.name
-            ),
-        });
+        // Report every construction site, not just the first: each is an
+        // independently dropped walk.
+        for &s in &starts {
+            out.push(Diagnostic {
+                rule: "T001",
+                rel: entry.file.rel.clone(),
+                line: entry.file.line_of(f.body_start + s),
+                msg: format!(
+                    "`{}` constructs a Txn but never calls .finish(...): the walk's trace span, read statistics and latency breakdown are silently dropped",
+                    f.name
+                ),
+            });
+        }
         return out;
     }
-    // The variable bound to the first construction, if any:
-    // `let mut tx = Txn::start(...)`.
-    let txn_var = body[..first_start]
-        .rfind("let ")
-        .map(|l| &body[l + 4..first_start])
-        .filter(|binding| binding.contains('=') && !binding.contains(';'))
-        .map(|binding| {
-            binding
-                .trim_start()
-                .trim_start_matches("mut ")
-                .split('=')
-                .next()
-                .unwrap_or("")
-                .trim()
-                .to_string()
-        })
-        .filter(|name| !name.is_empty() && name.bytes().all(is_ident_char));
+    // Per-construction binding variable: `let [mut] tx = Txn::start(..)`.
+    // Resolved against each construction's own statement head, so a
+    // second construction shadowing the first gets its own entry instead
+    // of all checks keying off the first `let`.
+    let bindings: Vec<Option<String>> = starts.iter().map(|&s| txn_binding_var(body, s)).collect();
+
+    // Shadowing drop: construction `i`'s binding is rebound by a later
+    // construction while the first walk was never touched in between —
+    // the first Txn is dropped at the rebind, with no return statement
+    // involved. Reported against construction `i` (the dropped walk).
+    for (i, &s) in starts.iter().enumerate() {
+        let Some(v) = bindings[i].as_deref() else {
+            continue;
+        };
+        let Some(&s2) = starts
+            .iter()
+            .skip(i + 1)
+            .find(|&&s2| txn_binding_var(body, s2).as_deref() == Some(v))
+        else {
+            continue;
+        };
+        let seg_start = body[s..].find(';').map_or(body.len(), |p| s + p + 1);
+        let seg_end = body[..s2].rfind([';', '{', '}']).map_or(s2, |p| p + 1);
+        let untouched =
+            seg_start >= seg_end || find_keyword(&body[seg_start..seg_end], v).is_empty();
+        if untouched {
+            out.push(Diagnostic {
+                rule: "T001",
+                rel: entry.file.rel.clone(),
+                line: entry.file.line_of(f.body_start + s),
+                msg: format!(
+                    "Txn bound to `{v}` in `{}` is shadowed by a later `let {v} = Txn::start(...)` without being finished or moved: the first walk is dropped at the rebind",
+                    f.name
+                ),
+            });
+        }
+    }
 
     for ret in find_keyword(body, "return") {
-        if ret < first_start {
+        if ret < starts[0] {
             continue;
         }
         let stmt_end = body[ret..].find(';').map_or(body.len(), |p| ret + p);
         let stmt = &body[ret..stmt_end];
         let finishes = stmt.contains(".finish(");
-        let moves_txn = txn_var
-            .as_deref()
-            .is_some_and(|v| !find_keyword(stmt, v).is_empty());
+        let moves_txn = starts.iter().zip(&bindings).any(|(&s, v)| {
+            s < ret
+                && v.as_deref()
+                    .is_some_and(|v| !find_keyword(stmt, v).is_empty())
+        });
         if !finishes && !moves_txn {
             out.push(Diagnostic {
                 rule: "T001",
@@ -260,6 +299,24 @@ fn check_txn_fn(entry: &FileEntry, f: &FnSpan) -> Vec<Diagnostic> {
         }
     }
     out
+}
+
+/// The variable bound by the `let` statement a `Txn::start` at `at`
+/// belongs to, if that construction is directly let-bound.
+fn txn_binding_var(body: &str, at: usize) -> Option<String> {
+    let stmt_start = body[..at].rfind([';', '{', '}']).map_or(0, |p| p + 1);
+    let head = body[stmt_start..at].trim();
+    let rest = head.strip_prefix("let")?;
+    if !rest.starts_with(char::is_whitespace) || !head.ends_with('=') {
+        return None;
+    }
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|&c| is_ident_char(c as u8))
+        .collect();
+    (!name.is_empty()).then_some(name)
 }
 
 /// S001 — report-schema sync: every `pub` field of a struct that has both
@@ -637,7 +694,7 @@ fn literal_in(file: &SourceFile, start: usize, end: usize) -> Option<String> {
 
 /// Like [`find_keyword`] but for multi-token patterns such as
 /// `Instant::now` — boundaries are checked only at the pattern's ends.
-fn find_pattern(text: &str, pat: &str) -> Vec<usize> {
+pub(crate) fn find_pattern(text: &str, pat: &str) -> Vec<usize> {
     let b = text.as_bytes();
     let mut out = Vec::new();
     let mut search = 0usize;

@@ -81,9 +81,12 @@ fn d001_does_not_fire_outside_simulation_crates() {
 
 #[test]
 fn d002_fires_on_wall_clock_and_randomness() {
-    let diags = scan_fixture("d002_wallclock.rs", "engine");
-    let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
-    assert!(rules.iter().all(|r| *r == "D002"), "{diags:?}");
+    // D004 also fires here (the same sources taint the functions); this
+    // test pins the per-site rule.
+    let diags: Vec<Diagnostic> = scan_fixture("d002_wallclock.rs", "engine")
+        .into_iter()
+        .filter(|d| d.rule == "D002")
+        .collect();
     for needle in ["Instant::now", "SystemTime", "thread_rng"] {
         assert!(
             diags.iter().any(|d| d.msg.contains(needle)),
@@ -96,8 +99,12 @@ fn d002_fires_on_wall_clock_and_randomness() {
 
 #[test]
 fn d003_fires_on_binaryheap_and_orderless_arenas() {
-    let diags = scan_fixture("d003_binaryheap.rs", "mem");
-    assert!(diags.iter().all(|d| d.rule == "D003"), "{diags:?}");
+    // W001 also reaches the fixture's `push` method through method-name
+    // over-approximation; this test pins the data-structure rule.
+    let diags: Vec<Diagnostic> = scan_fixture("d003_binaryheap.rs", "mem")
+        .into_iter()
+        .filter(|d| d.rule == "D003")
+        .collect();
     // Import, field declaration, two constructor/use sites — plus the
     // arena-without-iter_deterministic finding.
     assert!(diags.len() >= 4, "{diags:?}");
@@ -130,8 +137,12 @@ fn d003_does_not_fire_outside_simulation_crates() {
 
 #[test]
 fn t001_fires_on_unfinished_txn_walks() {
-    let diags = scan_fixture("t001_txn_leak.rs", "proto");
-    assert!(diags.iter().all(|d| d.rule == "T001"), "{diags:?}");
+    // T002 independently reports the never-finished construction; this
+    // test pins the per-function rule.
+    let diags: Vec<Diagnostic> = scan_fixture("t001_txn_leak.rs", "proto")
+        .into_iter()
+        .filter(|d| d.rule == "T001")
+        .collect();
     assert_eq!(diags.len(), 2, "one per leak: {diags:?}");
     assert_eq!(
         diags[0].line,
@@ -196,6 +207,113 @@ fn p001_fires_on_unregistered_phase_names() {
 }
 
 #[test]
+fn t001_shadowed_rebind_is_reported_at_the_dropped_construction() {
+    let diags: Vec<Diagnostic> = scan_fixture("t001_shadowed.rs", "proto")
+        .into_iter()
+        .filter(|d| d.rule == "T001")
+        .collect();
+    assert_eq!(diags.len(), 1, "exactly the shadowing drop: {diags:?}");
+    assert_eq!(
+        diags[0].line,
+        line_of("t001_shadowed.rs", "let tx = Txn::start(node, line, now)"),
+        "span points at the dropped (first) construction, not the rebind"
+    );
+    assert!(diags[0].msg.contains("shadowed"), "{diags:?}");
+}
+
+#[test]
+fn t002_fires_across_the_call_graph() {
+    let diags: Vec<Diagnostic> = scan_fixture("t002_escape.rs", "proto")
+        .into_iter()
+        .filter(|d| d.rule == "T002")
+        .collect();
+    // The dropped by-value parameter, the producing call site whose walk
+    // feeds it, and the struct-stored Txn.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert_eq!(
+        diags[0].line,
+        line_of("t002_escape.rs", "pub fn forward_and_forget"),
+        "unfinished by-value param reported at the helper: {diags:?}"
+    );
+    assert!(diags[0].msg.contains("`tx`"), "{diags:?}");
+    assert_eq!(
+        diags[1].line,
+        line_of("t002_escape.rs", "let tx = Txn::start(node, line, now)"),
+        "producing call site reported at the construction: {diags:?}"
+    );
+    assert_eq!(
+        diags[2].line,
+        line_of("t002_escape.rs", "pub txn: Txn,"),
+        "stored Txn reported at the field: {diags:?}"
+    );
+    assert!(diags[2].msg.contains("ParkedWalk"), "{diags:?}");
+    // The allow-hatch case (`ParkedAllowed`) is suppressed.
+    assert!(
+        !diags.iter().any(|d| d.msg.contains("ParkedAllowed")),
+        "justified allow suppresses the parked walk: {diags:?}"
+    );
+}
+
+#[test]
+fn d004_propagates_taint_to_transitive_callers() {
+    let diags: Vec<Diagnostic> = scan_fixture("d004_taint.rs", "core")
+        .into_iter()
+        .filter(|d| d.rule == "D004")
+        .collect();
+    // The direct toucher and its transitive caller; the allow-hatched
+    // `debug_stamp` is suppressed.
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!(
+        diags[0].line,
+        line_of("d004_taint.rs", "fn host_millis"),
+        "{diags:?}"
+    );
+    assert_eq!(
+        diags[1].line,
+        line_of("d004_taint.rs", "pub fn jitter_seed"),
+        "transitive caller flagged even though it never reads a clock: {diags:?}"
+    );
+    assert!(
+        diags[1].msg.contains("`jitter_seed`") && diags[1].msg.contains("`host_millis`"),
+        "message shows the taint chain: {diags:?}"
+    );
+    assert!(
+        diags[1].msg.contains("SystemTime"),
+        "message names the root source: {diags:?}"
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.line == line_of("d004_taint.rs", "pub fn debug_stamp")),
+        "justified allow suppresses the deliberate taint: {diags:?}"
+    );
+}
+
+#[test]
+fn w001_fires_on_unclassified_handler_reachable_state() {
+    let diags: Vec<Diagnostic> = scan_fixture("w001_unclassified.rs", "core")
+        .into_iter()
+        .filter(|d| d.rule == "W001")
+        .collect();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(
+        diags[0].line,
+        line_of("w001_unclassified.rs", "pub fn twist"),
+        "{diags:?}"
+    );
+    assert!(
+        diags[0].msg.contains("`Gizmo`") && diags[0].msg.contains("mesh-region"),
+        "{diags:?}"
+    );
+    // `Whatsit::spin` is equally unclassified but carries a reasoned
+    // allow — the hatch works for W001 too.
+    assert!(
+        !diags.iter().any(|d| d.msg.contains("Whatsit")),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn allow_escape_hatch_suppresses_with_reason() {
     let diags = scan_fixture("allow_ok.rs", "mem");
     assert!(
@@ -238,7 +356,75 @@ fn cli_exits_zero_on_clean_workspace_and_lists_rules() {
         .output()
         .expect("run pimdsm-lint --list");
     let text = String::from_utf8_lossy(&list.stdout);
-    for id in ["D001", "D002", "D003", "T001", "S001", "O001", "P001"] {
+    for id in [
+        "D001", "D002", "D003", "D004", "T001", "T002", "W001", "S001", "O001", "P001",
+    ] {
         assert!(text.contains(id), "--list names {id}");
     }
+}
+
+#[test]
+fn cli_json_format_emits_the_stable_schema() {
+    let bin = env!("CARGO_BIN_EXE_pimdsm-lint");
+    let out = std::process::Command::new(bin)
+        .args(["--format", "json", "--root"])
+        .arg(root())
+        .output()
+        .expect("run pimdsm-lint --format json");
+    assert!(out.status.success(), "clean workspace exits 0");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\": \"pimdsm-lint-diagnostics-v1\""));
+    assert!(text.contains("\"diagnostics\": []"), "clean scan: {text}");
+    // The allow inventory carries every suppression's mandatory reason.
+    assert!(text.contains("\"allows\": ["));
+    assert!(text.contains("\"reason\": \""));
+    for id in ["\"D004\"", "\"T002\"", "\"W001\""] {
+        assert!(text.contains(id), "rules array names {id}: {text}");
+    }
+}
+
+#[test]
+fn cli_shared_state_audit_is_nonempty_and_schema_stable() {
+    let bin = env!("CARGO_BIN_EXE_pimdsm-lint");
+    let out = std::process::Command::new(bin)
+        .args(["--audit", "shared-state", "--root"])
+        .arg(root())
+        .output()
+        .expect("run pimdsm-lint --audit shared-state");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\": \"pimdsm-lint-audit-v1\""));
+    for root_fn in ["Machine::run", "Machine::step", "Machine::apply_fault"] {
+        assert!(text.contains(root_fn), "audit roots include {root_fn}");
+    }
+    for region in [
+        "\"driver\"",
+        "\"per_node\"",
+        "\"per_page_directory\"",
+        "\"interconnect\"",
+        "\"observability\"",
+        "\"walk_local\"",
+    ] {
+        assert!(text.contains(region), "region {region} present: {text}");
+    }
+    assert!(
+        text.contains("\"unclassified\": []"),
+        "workspace is fully classified"
+    );
+    // Deterministic: two runs render byte-identical documents, and the
+    // committed artifact matches.
+    let again = std::process::Command::new(bin)
+        .args(["--audit", "shared-state", "--root"])
+        .arg(root())
+        .output()
+        .expect("re-run audit");
+    assert_eq!(out.stdout, again.stdout, "audit output is deterministic");
+    let committed = std::fs::read_to_string(root().join("results/shared_state_audit.json"))
+        .expect("committed audit artifact");
+    assert_eq!(
+        committed.as_bytes(),
+        &out.stdout[..],
+        "results/shared_state_audit.json is stale: regenerate with \
+         `cargo run -p pimdsm-lint -- --audit shared-state > results/shared_state_audit.json`"
+    );
 }
